@@ -1,0 +1,169 @@
+// Command alloysim runs a single DRAM-cache simulation and prints its
+// results: the workload, design, predictor, cache size, and scale are all
+// selectable. It is the low-level counterpart to cmd/paperfigs.
+//
+//	alloysim -workload mcf_r -design alloy -pred map-i
+//	alloysim -workload libquantum_r -design lh-29 -cache 512
+//	alloysim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"alloysim/internal/core"
+	"alloysim/internal/trace"
+)
+
+// buildConfigFromFlags assembles a configuration from the CLI flags.
+func buildConfigFromFlags(workload, design, pred string, cacheMB, scale, instr, warmup uint64, cores int, gap uint32, seed uint64, footprint bool) core.Config {
+	cfg := core.DefaultConfig(workload)
+	cfg.Design = core.Design(design)
+	cfg.Predictor = core.PredictorKind(pred)
+	cfg.DRAMCacheBytes = cacheMB << 20
+	cfg.Scale = scale
+	cfg.InstructionsPerCore = instr
+	cfg.WarmupRefs = warmup
+	cfg.Cores = cores
+	cfg.GapScale = gap
+	cfg.Seed = seed
+	cfg.TrackFootprint = footprint
+	return cfg
+}
+
+// loadTraces builds one Replay generator per core from dir/core%d.trace.
+func loadTraces(dir string, cores int) ([]trace.Generator, error) {
+	gens := make([]trace.Generator, 0, cores)
+	for i := 0; i < cores; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("core%d.trace", i))
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		refs, err := trace.ReadFile(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		r, err := trace.NewReplay(refs)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		gens = append(gens, r)
+	}
+	return gens, nil
+}
+
+func main() {
+	var (
+		workload  = flag.String("workload", "mcf_r", "workload profile name (-list to enumerate)")
+		design    = flag.String("design", "alloy", "DRAM cache design: none, sram-32, sram-1, lh-29, lh-29-rand, lh-1, alloy, alloy-2, alloy-b8, ideal-lo, ideal-lo-notag")
+		pred      = flag.String("pred", "", "predictor: sam, pam, map-g, map-i, perfect, missmap (default: paper pairing)")
+		cacheMB   = flag.Uint64("cache", 256, "DRAM cache size in MB (paper scale)")
+		scale     = flag.Uint64("scale", 64, "capacity/footprint scale divisor")
+		instr     = flag.Uint64("instr", 1_500_000, "instructions per core")
+		warmup    = flag.Uint64("warmup", 50_000, "warmup references per core")
+		cores     = flag.Int("cores", 8, "number of rate-mode cores")
+		gap       = flag.Uint("gapscale", 2, "instruction-gap multiplier")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		baseline  = flag.Bool("baseline", false, "also run the no-cache baseline and report speedup")
+		footprint = flag.Bool("footprint", false, "track unique lines touched")
+		traceDir  = flag.String("tracedir", "", "replay core%d.trace files from this directory instead of synthetic generators")
+		confIn    = flag.String("config", "", "load the full configuration from a JSON file (other flags are ignored)")
+		confOut   = flag.String("saveconfig", "", "write the effective configuration to a JSON file and exit")
+		list      = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "WORKLOAD\tPAPER MPKI\tPAPER FOOTPRINT\tPERFECT-L3")
+		for _, p := range trace.All() {
+			fmt.Fprintf(w, "%s\t%.1f\t%.0f MB\t%.1fx\n", p.Name, p.PaperMPKI, p.PaperFootprintMB, p.PaperPerfL3)
+		}
+		w.Flush()
+		return
+	}
+
+	var cfg core.Config
+	if *confIn != "" {
+		var err error
+		cfg, err = core.LoadConfigFile(*confIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alloysim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		cfg = buildConfigFromFlags(*workload, *design, *pred, *cacheMB, *scale, *instr, *warmup, *cores, uint32(*gap), *seed, *footprint)
+	}
+	if *confOut != "" {
+		if err := core.SaveConfigFile(*confOut, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "alloysim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *confOut)
+		return
+	}
+	if *traceDir != "" {
+		gens, err := loadTraces(*traceDir, cfg.Cores)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alloysim: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Generators = gens
+	}
+
+	res, err := run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alloysim: %v\n", err)
+		os.Exit(1)
+	}
+	report(res)
+
+	if *baseline && cfg.Design != core.DesignNone {
+		bcfg := cfg
+		bcfg.Design = core.DesignNone
+		bcfg.Predictor = core.PredDefault
+		base, err := run(bcfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alloysim: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nbaseline exec:     %.0f cycles\n", base.ExecCycles)
+		fmt.Printf("speedup:           %.3fx\n", res.SpeedupOver(base))
+	}
+}
+
+func run(cfg core.Config) (core.Result, error) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return sys.Run()
+}
+
+func report(r core.Result) {
+	fmt.Printf("workload:          %s\n", r.Workload)
+	fmt.Printf("design:            %s (predictor %s)\n", r.Design, r.Predictor)
+	fmt.Printf("execution:         %.0f cycles, %d instructions, IPC %.2f\n",
+		r.ExecCycles, r.Instructions, r.IPC())
+	fmt.Printf("L3:                %.1f%% hit rate (%d accesses)\n",
+		100*r.L3.HitRate(), r.L3.Accesses())
+	fmt.Printf("MPKI (below L3):   %.1f\n", r.MPKI)
+	if r.Design != core.DesignNone {
+		fmt.Printf("DRAM cache:        %.1f%% read hit rate, hit latency %.0f, miss latency %.0f\n",
+			100*r.DCReadHitRate, r.HitLatency, r.MissLatency)
+		fmt.Printf("row-buffer hits:   %.1f%%\n", 100*r.RowBufferHitRate)
+		if r.Accuracy.Total() > 0 {
+			fmt.Printf("prediction:        %.1f%% accurate (%d wasted parallel probes)\n",
+				100*r.Accuracy.Overall(), r.WastedMemReads)
+		}
+	}
+	fmt.Printf("off-chip traffic:  %d reads, %d writes\n", r.MemReads, r.MemWrites)
+	if r.FootprintBytes > 0 {
+		fmt.Printf("footprint:         %.1f MB (scaled)\n", float64(r.FootprintBytes)/(1<<20))
+	}
+}

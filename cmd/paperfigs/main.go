@@ -1,0 +1,107 @@
+// Command paperfigs regenerates the tables and figures of the paper's
+// evaluation. Run with no flags to regenerate everything, or select one
+// experiment with -exp.
+//
+//	paperfigs -exp fig4          # one experiment
+//	paperfigs -list              # list experiment IDs
+//	paperfigs -quick             # smaller traces, faster, noisier
+//	paperfigs -scale 32 -instr 3000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"alloysim/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment ID to run (default: all)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		quick    = flag.Bool("quick", false, "use reduced trace lengths")
+		scale    = flag.Uint64("scale", 0, "capacity scale divisor (default 64)")
+		instr    = flag.Uint64("instr", 0, "instructions per core (default 1.5M)")
+		seed     = flag.Uint64("seed", 0, "workload seed (default 1)")
+		progress = flag.Bool("v", false, "print each completed simulation")
+		outDir   = flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	params := experiments.DefaultParams()
+	if *quick {
+		params = experiments.QuickParams()
+	}
+	if *scale > 0 {
+		params.Scale = *scale
+	}
+	if *instr > 0 {
+		params.InstructionsPerCore = *instr
+	}
+	if *seed > 0 {
+		params.Seed = *seed
+	}
+	if *progress {
+		params.Progress = os.Stderr
+	}
+	runner := experiments.NewRunner(params)
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		var out io.Writer = os.Stdout
+		var f *os.File
+		if *outDir != "" {
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, e.ID+".txt"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(f, "%s: %s\n\n", e.ID, e.Title)
+			out = io.MultiWriter(os.Stdout, f)
+		}
+		if err := e.Run(runner, out); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if f != nil {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+
+	if *exp != "" {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "paperfigs: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		run(e)
+		return
+	}
+	for _, e := range experiments.All() {
+		run(e)
+	}
+}

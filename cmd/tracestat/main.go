@@ -1,0 +1,79 @@
+// Command tracestat inspects a synthetic workload generator without
+// running any timing simulation: it reports the reference mix, write
+// fraction, instruction gaps, unique-line footprint, and page-level
+// spatial locality of the stream. Useful when designing or calibrating
+// workload profiles.
+//
+//	tracestat -workload mcf_r -refs 500000 -scale 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"alloysim/internal/memaddr"
+	"alloysim/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "mcf_r", "workload profile name")
+		refs     = flag.Uint64("refs", 500_000, "references to sample")
+		scale    = flag.Uint64("scale", 64, "footprint scale divisor")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	prof, ok := trace.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracestat: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	gen, err := prof.Build(*seed, *scale, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+		os.Exit(1)
+	}
+
+	var (
+		writes    uint64
+		gapSum    uint64
+		instr     uint64
+		uniq      = make(map[memaddr.Line]struct{})
+		uniqPages = make(map[uint64]struct{})
+		samePage  uint64
+		prevPage  = ^uint64(0)
+	)
+	for i := uint64(0); i < *refs; i++ {
+		r := gen.Next()
+		if r.Write {
+			writes++
+		}
+		gapSum += uint64(r.Gap)
+		instr += uint64(r.Gap) + 1
+		uniq[r.Line] = struct{}{}
+		page := uint64(r.Line) >> memaddr.PageShift
+		uniqPages[page] = struct{}{}
+		if page == prevPage {
+			samePage++
+		}
+		prevPage = page
+	}
+
+	fmt.Printf("workload:        %s (scale 1/%d, seed %d)\n", prof.Name, *scale, *seed)
+	fmt.Printf("paper anchors:   MPKI %.1f, footprint %.0f MB, perfect-L3 %.1fx\n",
+		prof.PaperMPKI, prof.PaperFootprintMB, prof.PaperPerfL3)
+	fmt.Printf("references:      %d (%.1f%% writes)\n", *refs, 100*float64(writes)/float64(*refs))
+	fmt.Printf("instructions:    %d (mean gap %.1f)\n", instr, float64(gapSum)/float64(*refs))
+	fmt.Printf("refs per 1000i:  %.1f\n", float64(*refs)/float64(instr)*1000)
+	fmt.Printf("footprint:       %.2f MB touched (%d lines, %d pages)\n",
+		float64(len(uniq))*64/(1<<20), len(uniq), len(uniqPages))
+	fmt.Printf("page locality:   %.1f%% of refs stay on the previous page\n",
+		100*float64(samePage)/float64(*refs))
+	fmt.Printf("components:\n")
+	for i, c := range prof.Components {
+		fmt.Printf("  %d: %-6s weight %.2f, region %.1f MB, PCs %d, writeFrac %.2f, skew %.0f, pageRun %d\n",
+			i, c.Kind, c.Weight, float64(c.RegionLines)*64/(1<<20), c.PCs, c.WriteFrac, c.Skew, c.PageRun)
+	}
+}

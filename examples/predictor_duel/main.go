@@ -1,0 +1,70 @@
+// predictor_duel compares every memory access predictor on the same Alloy
+// Cache system (the paper's §5 study): the static SAM and PAM reference
+// points, the history-based MAP-G and MAP-I, the idealized-but-slow
+// MissMap, and the perfect oracle. It prints speedup, accuracy, the
+// Table 5 scenario split, and the extra memory traffic each one causes.
+//
+//	go run ./examples/predictor_duel [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"alloysim/internal/core"
+)
+
+func main() {
+	workload := "mcf_r"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+
+	cfg := core.DefaultConfig(workload)
+	cfg.InstructionsPerCore = 400_000
+	cfg.WarmupRefs = 15_000
+	cfg.GapScale = 2
+
+	baseCfg := cfg
+	baseCfg.Design = core.DesignNone
+	base := run(baseCfg)
+
+	preds := []core.PredictorKind{
+		core.PredSAM, core.PredPAM, core.PredMAPG,
+		core.PredMAPI, core.PredMissMap, core.PredPerfect,
+	}
+
+	fmt.Printf("Alloy Cache on %s — memory access predictor comparison\n\n", workload)
+	fmt.Printf("%-9s %-9s %-9s %-11s %-12s %s\n",
+		"pred", "speedup", "accuracy", "wasted-mem", "slow-misses", "hit latency")
+	for _, p := range preds {
+		c := cfg
+		c.Design = core.DesignAlloy
+		c.Predictor = p
+		r := run(c)
+		a := r.Accuracy
+		fmt.Printf("%-9s %-9s %-9s %-11s %-12s %.0f cycles\n",
+			p,
+			fmt.Sprintf("%.3fx", r.SpeedupOver(base)),
+			fmt.Sprintf("%.1f%%", 100*a.Overall()),
+			fmt.Sprintf("%.1f%%", 100*a.Fraction(a.CachePredMem)),
+			fmt.Sprintf("%.1f%%", 100*a.Fraction(a.MemPredCache)),
+			r.HitLatency)
+	}
+	fmt.Println()
+	fmt.Println("wasted-mem:  hits mispredicted as memory (parallel probe discarded)")
+	fmt.Println("slow-misses: misses mispredicted as hits (memory dispatch serialized)")
+}
+
+func run(cfg core.Config) core.Result {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,72 @@
+// size_sweep reproduces the Figure 9 study on a single workload: DRAM
+// cache sizes from 64 MB to 1 GB for the LH-Cache, SRAM-Tag, Alloy Cache,
+// and IDEAL-LO designs, printing speedup and hit rate at each point.
+//
+//	go run ./examples/size_sweep [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"alloysim/internal/core"
+)
+
+func main() {
+	workload := "mcf_r"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+
+	cfg := core.DefaultConfig(workload)
+	cfg.InstructionsPerCore = 300_000
+	cfg.WarmupRefs = 15_000
+	cfg.GapScale = 2
+
+	baseCfg := cfg
+	baseCfg.Design = core.DesignNone
+	base := run(baseCfg)
+
+	designs := []struct {
+		label string
+		d     core.Design
+	}{
+		{"LH-Cache", core.DesignLH},
+		{"SRAM-Tag", core.DesignSRAMTag32},
+		{"Alloy", core.DesignAlloy},
+		{"IDEAL-LO", core.DesignIdealLO},
+	}
+
+	fmt.Printf("Cache-size sensitivity on %s (speedup over no-cache baseline)\n\n", workload)
+	fmt.Printf("%-8s", "size")
+	for _, d := range designs {
+		fmt.Printf("  %-16s", d.label)
+	}
+	fmt.Println()
+	for _, mb := range []uint64{64, 128, 256, 512, 1024} {
+		fmt.Printf("%-8s", fmt.Sprintf("%dMB", mb))
+		for _, d := range designs {
+			c := cfg
+			c.Design = d.d
+			c.DRAMCacheBytes = mb << 20
+			r := run(c)
+			fmt.Printf("  %-16s", fmt.Sprintf("%.3fx (h%2.0f%%)", r.SpeedupOver(base), 100*r.DCReadHitRate))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nAll sizes are paper-scale; the simulation runs at 1/64 capacity scale")
+	fmt.Println("with footprints scaled identically, preserving every ratio.")
+}
+
+func run(cfg core.Config) core.Result {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,3 @@
+module alloysim
+
+go 1.22

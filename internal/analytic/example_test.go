@@ -1,0 +1,34 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"alloysim/internal/analytic"
+)
+
+// The paper's §1 motivating example: an optimization that looks
+// indispensable on a fast cache is a net loss on a slow one.
+func ExampleBreakEvenHitRate() {
+	// Fast cache (hit latency 0.1 of memory): optimization A (1.4x hit
+	// latency) only needs a 52% hit rate to break even at a 50% base.
+	fast, _ := analytic.BreakEvenHitRate(0.5, 0.1, 1.4)
+	// Slow cache (0.5 of memory, like a DRAM cache): A must reach 83%.
+	slow, _ := analytic.BreakEvenHitRate(0.5, 0.5, 1.4)
+	fmt.Printf("fast cache break-even: %.0f%%\n", fast*100)
+	fmt.Printf("slow cache break-even: %.0f%%\n", slow*100)
+	// Output:
+	// fast cache break-even: 52%
+	// slow cache break-even: 83%
+}
+
+// Table 4's effective-bandwidth arithmetic.
+func ExampleTable4Bandwidth() {
+	for _, b := range analytic.Table4Bandwidth() {
+		if b.Structure == "Alloy Cache" || b.Structure == "LH-Cache" {
+			fmt.Printf("%s: %.1fx\n", b.Structure, b.EffectiveBW)
+		}
+	}
+	// Output:
+	// LH-Cache: 1.9x
+	// Alloy Cache: 6.4x
+}

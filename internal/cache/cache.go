@@ -1,0 +1,248 @@
+// Package cache implements a generic set-associative cache model with
+// pluggable replacement. It tracks contents only (tags, valid and dirty
+// bits) — timing lives in the levels that own the cache: the L3 front-end
+// and the DRAM-cache organizations layer latency over this structure.
+//
+// Set counts need not be powers of two: the Alloy Cache's 28-line rows
+// produce a non-power-of-two set count, indexed by residue (paper §4.1).
+package cache
+
+import (
+	"fmt"
+
+	"alloysim/internal/memaddr"
+	"alloysim/internal/policy"
+)
+
+// Config describes a cache's geometry and replacement policy.
+type Config struct {
+	Sets   int    // number of sets (any positive integer)
+	Assoc  int    // ways per set
+	Policy string // policy.New name: "lru", "random", "bip", "dip", "nru"
+}
+
+// Lines returns the total line capacity.
+func (c Config) Lines() int { return c.Sets * c.Assoc }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Sets <= 0 {
+		return fmt.Errorf("cache: Sets must be positive, got %d", c.Sets)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("cache: Assoc must be positive, got %d", c.Assoc)
+	}
+	return nil
+}
+
+type entry struct {
+	line  memaddr.Line
+	valid bool
+	dirty bool
+}
+
+// Eviction describes a line displaced by a fill.
+type Eviction struct {
+	Line  memaddr.Line
+	Dirty bool
+	Valid bool // false when the fill used an invalid way (no eviction)
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Writebacks  uint64 // dirty evictions
+	Evictions   uint64 // all valid evictions
+	WriteHits   uint64
+	WriteMisses uint64
+}
+
+// Accesses returns total demand accesses.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// HitRate returns hits / accesses, or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Hits) / float64(a)
+	}
+	return 0
+}
+
+// Cache is a set-associative cache. It is not safe for concurrent use; the
+// simulator is single-threaded and deterministic by design.
+type Cache struct {
+	cfg     Config
+	entries []entry
+	pol     policy.Policy
+	stats   Stats
+}
+
+// New creates a cache from the config. An empty Policy defaults to "lru".
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	name := cfg.Policy
+	if name == "" {
+		name = "lru"
+	}
+	pol, err := policy.New(name, cfg.Sets, cfg.Assoc)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{
+		cfg:     cfg,
+		entries: make([]entry, cfg.Sets*cfg.Assoc),
+		pol:     pol,
+	}, nil
+}
+
+// MustNew is New but panics on error; for tests and fixed configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the event counts.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counters, keeping contents and replacement
+// state; used to separate warmup from measurement.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// SetOf returns the set index for a line.
+func (c *Cache) SetOf(line memaddr.Line) int {
+	return int(line.Mod(uint64(c.cfg.Sets)))
+}
+
+// findWay returns the way holding line in set, or -1.
+func (c *Cache) findWay(set int, line memaddr.Line) int {
+	base := set * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if e := &c.entries[base+w]; e.valid && e.line == line {
+			return w
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the line is present, without disturbing
+// replacement state or statistics. The idealized MissMap and the Perfect
+// predictor are built on this probe.
+func (c *Cache) Contains(line memaddr.Line) bool {
+	return c.findWay(c.SetOf(line), line) >= 0
+}
+
+// Access performs a demand access with allocate-on-miss semantics: on a
+// miss the line is filled immediately (contents-wise) and the displaced
+// line, if any, is returned. Timing layers sequence the actual fill and
+// writeback traffic around this bookkeeping.
+func (c *Cache) Access(line memaddr.Line, write bool) (hit bool, ev Eviction) {
+	set := c.SetOf(line)
+	if w := c.findWay(set, line); w >= 0 {
+		c.stats.Hits++
+		if write {
+			c.stats.WriteHits++
+			c.entries[set*c.cfg.Assoc+w].dirty = true
+		}
+		c.pol.Touch(set, w)
+		return true, Eviction{}
+	}
+	c.stats.Misses++
+	if write {
+		c.stats.WriteMisses++
+	}
+	c.pol.Miss(set)
+	ev = c.fill(set, line, write)
+	return false, ev
+}
+
+// Probe performs a non-allocating lookup, updating hit/miss statistics and
+// recency on hit but never filling. Useful for modeling tag checks whose
+// fills are decided elsewhere.
+func (c *Cache) Probe(line memaddr.Line, write bool) bool {
+	set := c.SetOf(line)
+	if w := c.findWay(set, line); w >= 0 {
+		c.stats.Hits++
+		if write {
+			c.stats.WriteHits++
+			c.entries[set*c.cfg.Assoc+w].dirty = true
+		}
+		c.pol.Touch(set, w)
+		return true
+	}
+	c.stats.Misses++
+	if write {
+		c.stats.WriteMisses++
+	}
+	c.pol.Miss(set)
+	return false
+}
+
+// Fill inserts a line (e.g. after a memory response) and returns the
+// eviction it caused. Filling a line already present is a no-op.
+func (c *Cache) Fill(line memaddr.Line, dirty bool) Eviction {
+	set := c.SetOf(line)
+	if w := c.findWay(set, line); w >= 0 {
+		if dirty {
+			c.entries[set*c.cfg.Assoc+w].dirty = true
+		}
+		return Eviction{}
+	}
+	return c.fill(set, line, dirty)
+}
+
+func (c *Cache) fill(set int, line memaddr.Line, dirty bool) Eviction {
+	base := set * c.cfg.Assoc
+	way := -1
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if !c.entries[base+w].valid {
+			way = w
+			break
+		}
+	}
+	var ev Eviction
+	if way < 0 {
+		way = c.pol.Victim(set)
+		old := &c.entries[base+way]
+		ev = Eviction{Line: old.line, Dirty: old.dirty, Valid: true}
+		c.stats.Evictions++
+		if old.dirty {
+			c.stats.Writebacks++
+		}
+	}
+	c.entries[base+way] = entry{line: line, valid: true, dirty: dirty}
+	c.pol.Insert(set, way)
+	return ev
+}
+
+// Invalidate removes a line if present and returns whether it was dirty.
+func (c *Cache) Invalidate(line memaddr.Line) (present, dirty bool) {
+	set := c.SetOf(line)
+	w := c.findWay(set, line)
+	if w < 0 {
+		return false, false
+	}
+	e := &c.entries[set*c.cfg.Assoc+w]
+	present, dirty = true, e.dirty
+	*e = entry{}
+	return present, dirty
+}
+
+// Occupancy returns the number of valid lines; useful for warmup checks.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.entries {
+		if c.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}

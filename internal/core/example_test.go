@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"fmt"
+
+	"alloysim/internal/core"
+)
+
+// The library's primary entry point: configure a system, run it once,
+// read the results. Everything is deterministic, so the output below is
+// stable across runs and platforms.
+func ExampleNewSystem() {
+	cfg := core.DefaultConfig("sphinx_r")
+	cfg.Design = core.DesignAlloy
+	cfg.Predictor = core.PredMAPI
+	cfg.InstructionsPerCore = 50_000
+	cfg.WarmupRefs = 10_000
+	cfg.GapScale = 2
+
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		fmt.Println("config error:", err)
+		return
+	}
+	res, err := sys.Run()
+	if err != nil {
+		fmt.Println("run error:", err)
+		return
+	}
+	fmt.Printf("design: %s\n", res.Design)
+	fmt.Printf("hit rate above 60%%: %v\n", res.DCReadHitRate > 0.6)
+	fmt.Printf("hit latency below 100 cycles: %v\n", res.HitLatency < 100)
+	// Output:
+	// design: alloy
+	// hit rate above 60%: true
+	// hit latency below 100 cycles: true
+}
+
+// Comparing two designs on the same workload: build one system per
+// design and divide execution times.
+func ExampleResult_SpeedupOver() {
+	run := func(d core.Design) core.Result {
+		cfg := core.DefaultConfig("sphinx_r")
+		cfg.Design = d
+		cfg.InstructionsPerCore = 50_000
+		cfg.WarmupRefs = 2_000
+		cfg.GapScale = 2
+		sys, _ := core.NewSystem(cfg)
+		res, _ := sys.Run()
+		return res
+	}
+	base := run(core.DesignNone)
+	alloy := run(core.DesignAlloy)
+	fmt.Printf("Alloy Cache speeds up sphinx: %v\n", alloy.SpeedupOver(base) > 1.5)
+	// Output:
+	// Alloy Cache speeds up sphinx: true
+}

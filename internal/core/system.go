@@ -1,0 +1,382 @@
+package core
+
+import (
+	"fmt"
+
+	"alloysim/internal/cache"
+	"alloysim/internal/cpu"
+	"alloysim/internal/dram"
+	"alloysim/internal/dramcache"
+	"alloysim/internal/memaddr"
+	"alloysim/internal/predictor"
+	"alloysim/internal/sim"
+	"alloysim/internal/stats"
+	"alloysim/internal/trace"
+)
+
+// System is one assembled simulation instance. Build it with NewSystem,
+// run it once with Run.
+type System struct {
+	cfg      Config
+	predKind PredictorKind
+
+	eng     *sim.Engine
+	l2      []*cache.Cache // private per-core L2s; nil when disabled
+	l2Lat   sim.Cycle
+	l3      *cache.Cache
+	org     dramcache.Organization // nil for the no-DRAM-cache baseline
+	pred    predictor.Predictor
+	auth    bool // predictor has perfect contents knowledge
+	mem     *dram.DRAM
+	stacked *dram.DRAM
+	gens    []trace.Generator
+	cores   []*cpu.Core
+
+	// Measured statistics (reset after warmup).
+	readLat        stats.Mean       // latency of reads serviced below the L3
+	hitLat         stats.Mean       // DRAM-cache hits, measured from L3-miss detection
+	hitLatHist     *stats.Histogram // same, bucketed for percentiles
+	missLat        stats.Mean       // DRAM-cache misses, measured likewise
+	missLatHist    *stats.Histogram
+	acc            predictor.Accuracy
+	belowReads     stats.Counter // L3 read misses
+	belowWrites    stats.Counter // write traffic below the L3
+	wastedMemReads stats.Counter // parallel probes discarded on cache hits
+	footprint      map[memaddr.Line]struct{}
+
+	// writeBuf holds the completion times of in-flight writes below the
+	// L3. When it is full, further writes stall the issuing core
+	// (store-buffer backpressure), which is what keeps unbounded write
+	// streams from reserving DRAM banks arbitrarily far into the future.
+	writeBuf    []sim.Cycle
+	writeBufCap int
+
+	ran bool
+}
+
+// NewSystem builds a system from the config.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, eng: sim.NewEngine(), writeBufCap: cfg.WriteBufferEntries}
+	if s.writeBufCap <= 0 {
+		s.writeBufCap = 64
+	}
+	s.hitLatHist = stats.NewHistogram(8, 512) // 8-cycle buckets up to 4096
+	s.missLatHist = stats.NewHistogram(8, 512)
+
+	var err error
+	if s.mem, err = dram.New(cfg.OffChip); err != nil {
+		return nil, err
+	}
+	if s.stacked, err = dram.New(cfg.Stacked); err != nil {
+		return nil, err
+	}
+	if s.org, err = buildOrganization(cfg.Design, cfg.ScaledCacheBytes(), s.stacked); err != nil {
+		return nil, err
+	}
+
+	l3Sets := int(cfg.ScaledL3Bytes()) / memaddr.LineSizeBytes / cfg.L3Assoc
+	l3Policy := cfg.L3Policy
+	if l3Policy == "" {
+		l3Policy = "dip"
+	}
+	if s.l3, err = cache.New(cache.Config{Sets: l3Sets, Assoc: cfg.L3Assoc, Policy: l3Policy}); err != nil {
+		return nil, err
+	}
+
+	if cfg.L2Bytes > 0 {
+		assoc := cfg.L2Assoc
+		if assoc <= 0 {
+			assoc = 8
+		}
+		s.l2Lat = cfg.L2Latency
+		if s.l2Lat == 0 {
+			s.l2Lat = 12
+		}
+		l2Sets := int(cfg.L2Bytes/cfg.Scale) / memaddr.LineSizeBytes / assoc
+		for i := 0; i < cfg.Cores; i++ {
+			l2, err := cache.New(cache.Config{Sets: l2Sets, Assoc: assoc, Policy: "lru"})
+			if err != nil {
+				return nil, err
+			}
+			s.l2 = append(s.l2, l2)
+		}
+	}
+
+	s.predKind = cfg.resolvePredictor()
+	if s.org != nil {
+		if s.pred, err = buildPredictor(s.predKind, cfg.Cores, s.org); err != nil {
+			return nil, err
+		}
+		s.auth = authoritative(s.predKind)
+	}
+
+	if cfg.TrackFootprint {
+		s.footprint = make(map[memaddr.Line]struct{})
+	}
+
+	if cfg.Generators != nil {
+		s.gens = append(s.gens, cfg.Generators...)
+		return s, nil
+	}
+
+	// One generator per rate-mode copy, at disjoint physical bases.
+	prof, _ := trace.ByName(cfg.Workload)
+	if cfg.GapScale > 1 {
+		prof.GapMean *= cfg.GapScale
+	}
+	copySpan := memaddr.Line(prof.FootprintLines()/cfg.Scale + uint64(len(prof.Components)) + 1)
+	for i := 0; i < cfg.Cores; i++ {
+		g, err := prof.Build(cfg.Seed+uint64(i)*0x9e37, cfg.Scale, memaddr.Line(i)*copySpan)
+		if err != nil {
+			return nil, err
+		}
+		s.gens = append(s.gens, g)
+	}
+	return s, nil
+}
+
+// Run warms the caches, executes the measured phase, and returns results.
+// A System is single-use.
+func (s *System) Run() (Result, error) {
+	if s.ran {
+		return Result{}, fmt.Errorf("core: System.Run called twice")
+	}
+	s.ran = true
+
+	s.warm()
+
+	for i, g := range s.gens {
+		c, err := cpu.New(i, s.cfg.CPU, g, s.eng, s, s.cfg.InstructionsPerCore)
+		if err != nil {
+			return Result{}, err
+		}
+		s.cores = append(s.cores, c)
+		c.Start()
+	}
+	s.eng.Run()
+
+	return s.collect(), nil
+}
+
+// warm streams WarmupRefs references per core through the cache contents
+// without advancing time, then clears all timing state and statistics so
+// measurement starts from warm contents and cold clocks.
+func (s *System) warm() {
+	for n := uint64(0); n < s.cfg.WarmupRefs; n++ {
+		for gi, g := range s.gens {
+			ref := g.Next()
+			if s.l2 != nil {
+				if ref.Write {
+					if s.l2[gi].Probe(ref.Line, true) {
+						continue
+					}
+				} else if hit, _ := s.l2[gi].Access(ref.Line, false); hit {
+					continue
+				}
+			}
+			if ref.Write {
+				if !s.l3.Probe(ref.Line, true) && s.org != nil {
+					s.org.Access(0, ref.Line, true)
+				}
+				continue
+			}
+			hit, ev := s.l3.Access(ref.Line, false)
+			if hit {
+				continue
+			}
+			if s.org != nil {
+				if ev.Valid && ev.Dirty {
+					s.org.Access(0, ev.Line, true)
+				}
+				s.org.Access(0, ref.Line, false)
+			}
+		}
+	}
+	s.mem.Reset()
+	s.stacked.Reset()
+	s.l3.ResetStats()
+	for _, l2 := range s.l2 {
+		l2.ResetStats()
+	}
+	if s.org != nil {
+		s.org.ResetStats()
+	}
+}
+
+// Read implements cpu.MemPort: the demand-load path.
+func (s *System) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line, complete func(sim.Cycle)) {
+	if s.footprint != nil {
+		s.footprint[line] = struct{}{}
+	}
+	if s.l2 != nil {
+		l2Hit, l2Ev := s.l2[core].Access(line, false)
+		if l2Hit {
+			complete(now + s.l2Lat)
+			return
+		}
+		now += s.l2Lat // L2 miss detected after its lookup
+		if l2Ev.Valid && l2Ev.Dirty {
+			// Private-L2 dirty victim written into the shared L3.
+			if !s.l3.Probe(l2Ev.Line, true) {
+				issueAt, _ := s.admitWrite(now + s.cfg.L3Latency)
+				s.writeBelow(issueAt, l2Ev.Line)
+			}
+		}
+	}
+	hit, ev := s.l3.Access(line, false)
+	if hit {
+		complete(now + s.cfg.L3Latency)
+		return
+	}
+	t0 := now + s.cfg.L3Latency // miss detected after the L3 lookup
+	if ev.Valid && ev.Dirty {
+		// L3 dirty writeback: buffered, never blocks the read.
+		issueAt, _ := s.admitWrite(t0)
+		s.writeBelow(issueAt, ev.Line)
+	}
+	s.belowReads.Inc()
+	done := s.readBelow(t0, core, pc, line)
+	s.readLat.Observe(float64(done - t0))
+	complete(done)
+}
+
+// Write implements cpu.MemPort: stores update the L3 in place on a hit and
+// are forwarded below on a miss (no-allocate). A full write buffer stalls
+// the core until a slot frees.
+func (s *System) Write(now sim.Cycle, core int, line memaddr.Line) sim.Cycle {
+	if s.footprint != nil {
+		s.footprint[line] = struct{}{}
+	}
+	if s.l2 != nil {
+		if s.l2[core].Probe(line, true) {
+			return 0
+		}
+		now += s.l2Lat
+	}
+	if s.l3.Probe(line, true) {
+		return 0
+	}
+	issueAt, stall := s.admitWrite(now + s.cfg.L3Latency)
+	s.writeBelow(issueAt, line)
+	return stall
+}
+
+// admitWrite reserves a write-buffer slot. It returns the cycle the write
+// may issue and the cycle the core may resume (zero when unconstrained).
+func (s *System) admitWrite(t sim.Cycle) (issueAt, stall sim.Cycle) {
+	// Retire completed writes.
+	live := s.writeBuf[:0]
+	for _, c := range s.writeBuf {
+		if c > t {
+			live = append(live, c)
+		}
+	}
+	s.writeBuf = live
+	if len(s.writeBuf) < s.writeBufCap {
+		return t, 0
+	}
+	// Buffer full: the write waits for the oldest in-flight write.
+	oldest := s.writeBuf[0]
+	for _, c := range s.writeBuf {
+		if c < oldest {
+			oldest = c
+		}
+	}
+	return oldest, oldest
+}
+
+// noteWrite records a write's completion time in the buffer.
+func (s *System) noteWrite(done sim.Cycle) {
+	s.writeBuf = append(s.writeBuf, done)
+}
+
+// readBelow services an L3 read miss, returning the data-arrival cycle.
+// This is where the paper's access models live: the predictor chooses
+// between the Serial Access Model (wait for the tag check before
+// dispatching to memory) and the Parallel Access Model (probe memory
+// alongside the cache).
+func (s *System) readBelow(t0 sim.Cycle, core int, pc uint64, line memaddr.Line) sim.Cycle {
+	if s.org == nil {
+		r := s.mem.AccessLine(t0, line, false)
+		return r.Done
+	}
+
+	predHit, predLat := s.pred.Predict(core, pc, line)
+	t1 := t0 + predLat
+	res := s.org.Access(t1, line, false)
+
+	var dataAt sim.Cycle
+	if res.Hit {
+		dataAt = res.DataReady
+		if !predHit {
+			// PAM path on an actual hit: the parallel memory probe is
+			// wasted bandwidth (Table 5's "serviced by cache, predicted
+			// memory" scenario).
+			s.mem.AccessLine(t1, line, false)
+			s.wastedMemReads.Inc()
+		}
+		s.hitLat.Observe(float64(dataAt - t0))
+		s.hitLatHist.Observe(uint64(dataAt - t0))
+	} else {
+		memStart := t1
+		if predHit {
+			// SAM path on an actual miss: memory dispatch waits for the
+			// cache-miss detection.
+			memStart = res.TagKnown
+		}
+		m := s.mem.AccessLine(memStart, line, false)
+		dataAt = m.Done
+		if !predHit && !s.auth && res.TagKnown > dataAt {
+			// §5.1: data returned by memory cannot be consumed until the
+			// tag check confirms the line is not dirty in the cache —
+			// unless the predictor knows contents exactly.
+			dataAt = res.TagKnown
+		}
+		s.missLat.Observe(float64(dataAt - t0))
+		s.missLatHist.Observe(uint64(dataAt - t0))
+		if res.Allocated {
+			// The fill happens when the memory response arrives; it must
+			// be scheduled through the engine, not reserved now — a
+			// far-future synchronous reservation would make temporally
+			// earlier requests (processed later) queue behind it.
+			victim := res.Victim
+			s.eng.Schedule(dataAt, func() {
+				f := s.org.Fill(s.eng.Now(), line)
+				if victim.Valid && victim.Dirty {
+					// Dirty victim written back to memory, off the
+					// critical path.
+					s.eng.Schedule(f.Done, func() {
+						s.mem.AccessLine(s.eng.Now(), victim.Line, true)
+					})
+				}
+			})
+		}
+	}
+	s.pred.Update(core, pc, line, res.Hit)
+	s.acc.Record(predHit, res.Hit)
+	return dataAt
+}
+
+// writeBelow services write traffic below the L3 (L3 writebacks and
+// forwarded write misses). Writes always use the serial model (§5.3).
+func (s *System) writeBelow(t sim.Cycle, line memaddr.Line) {
+	s.belowWrites.Inc()
+	if s.org == nil {
+		r := s.mem.AccessLine(t, line, true)
+		s.noteWrite(r.Done)
+		return
+	}
+	res := s.org.Access(t, line, true)
+	if res.Hit {
+		s.noteWrite(res.DataReady)
+		return
+	}
+	r := s.mem.AccessLine(res.TagKnown, line, true)
+	s.noteWrite(r.Done)
+}
+
+// Debug instrumentation for miss-path decomposition (tests only).
+var _ = 0

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"alloysim/internal/trace"
+)
+
+// smallConfig returns a fast configuration for tests.
+func smallConfig(workload string, d Design) Config {
+	cfg := DefaultConfig(workload)
+	cfg.Design = d
+	cfg.InstructionsPerCore = 150_000
+	cfg.WarmupRefs = 8_000
+	cfg.GapScale = 2
+	return cfg
+}
+
+func runOne(t *testing.T, cfg Config) Result {
+	t.Helper()
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Workload = "nope" },
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.InstructionsPerCore = 0 },
+		func(c *Config) { c.Scale = 0 },
+		func(c *Config) { c.Predictor = "psychic" },
+		func(c *Config) { c.DRAMCacheBytes = 1024 },
+		func(c *Config) { c.CPU.MLP = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig("mcf_r")
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if err := DefaultConfig("mcf_r").Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestScaledSizes(t *testing.T) {
+	cfg := DefaultConfig("mcf_r")
+	if cfg.ScaledCacheBytes() != (256<<20)/64 {
+		t.Fatalf("scaled cache = %d", cfg.ScaledCacheBytes())
+	}
+	if cfg.ScaledL3Bytes() != (8<<20)/64 {
+		t.Fatalf("scaled L3 = %d", cfg.ScaledL3Bytes())
+	}
+}
+
+func TestDefaultPredictorPairings(t *testing.T) {
+	cases := map[Design]PredictorKind{
+		DesignNone:         PredSAM,
+		DesignSRAMTag32:    PredSAM,
+		DesignLH:           PredMissMap,
+		DesignLH1:          PredMissMap,
+		DesignAlloy:        PredMAPI,
+		DesignAlloy2:       PredMAPI,
+		DesignIdealLO:      PredPerfect,
+		DesignIdealLONoTag: PredPerfect,
+	}
+	for d, want := range cases {
+		cfg := DefaultConfig("mcf_r")
+		cfg.Design = d
+		if got := cfg.resolvePredictor(); got != want {
+			t.Errorf("design %s: default predictor %s, want %s", d, got, want)
+		}
+	}
+	cfg := DefaultConfig("mcf_r")
+	cfg.Predictor = PredPAM
+	if cfg.resolvePredictor() != PredPAM {
+		t.Error("explicit predictor not honored")
+	}
+}
+
+func TestAllDesignsBuildAndRun(t *testing.T) {
+	for _, d := range Designs() {
+		cfg := smallConfig("sphinx_r", d)
+		cfg.InstructionsPerCore = 40_000
+		cfg.WarmupRefs = 2_000
+		r := runOne(t, cfg)
+		if r.ExecCycles <= 0 {
+			t.Errorf("design %s: no execution time", d)
+		}
+		if r.Instructions < cfg.InstructionsPerCore*uint64(cfg.Cores) {
+			t.Errorf("design %s: retired %d < budget", d, r.Instructions)
+		}
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	cfg := smallConfig("sphinx_r", DesignNone)
+	cfg.InstructionsPerCore = 10_000
+	cfg.WarmupRefs = 100
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("second Run did not fail")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := runOne(t, smallConfig("omnetpp_r", DesignAlloy))
+	b := runOne(t, smallConfig("omnetpp_r", DesignAlloy))
+	if a.ExecCycles != b.ExecCycles {
+		t.Fatalf("nondeterministic exec: %v vs %v", a.ExecCycles, b.ExecCycles)
+	}
+	if a.DCHitRate != b.DCHitRate {
+		t.Fatalf("nondeterministic hit rate: %v vs %v", a.DCHitRate, b.DCHitRate)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	cfg := smallConfig("omnetpp_r", DesignAlloy)
+	a := runOne(t, cfg)
+	cfg.Seed = 99
+	b := runOne(t, cfg)
+	if a.ExecCycles == b.ExecCycles {
+		t.Fatal("different seeds produced identical execution time")
+	}
+}
+
+func TestDRAMCacheImprovesMemoryIntensiveWorkload(t *testing.T) {
+	base := runOne(t, smallConfig("omnetpp_r", DesignNone))
+	alloy := runOne(t, smallConfig("omnetpp_r", DesignAlloy))
+	if s := alloy.SpeedupOver(base); s < 1.1 {
+		t.Fatalf("Alloy speedup %v on omnetpp, want > 1.1", s)
+	}
+}
+
+func TestAlloyOutperformsLH(t *testing.T) {
+	// The paper's central result, on a cache-friendly workload.
+	base := runOne(t, smallConfig("omnetpp_r", DesignNone))
+	lh := runOne(t, smallConfig("omnetpp_r", DesignLH))
+	alloy := runOne(t, smallConfig("omnetpp_r", DesignAlloy))
+	if alloy.SpeedupOver(base) <= lh.SpeedupOver(base) {
+		t.Fatalf("Alloy (%.3f) did not beat LH-Cache (%.3f)",
+			alloy.SpeedupOver(base), lh.SpeedupOver(base))
+	}
+}
+
+func TestHitLatencyOrdering(t *testing.T) {
+	// Figure 10's ordering: Alloy < SRAM-Tag < LH-Cache hit latency.
+	alloy := runOne(t, smallConfig("omnetpp_r", DesignAlloy))
+	sram := runOne(t, smallConfig("omnetpp_r", DesignSRAMTag32))
+	lh := runOne(t, smallConfig("omnetpp_r", DesignLH))
+	if !(alloy.HitLatency < sram.HitLatency && sram.HitLatency < lh.HitLatency) {
+		t.Fatalf("hit latency ordering broken: alloy %.0f, sram %.0f, lh %.0f",
+			alloy.HitLatency, sram.HitLatency, lh.HitLatency)
+	}
+}
+
+func TestAssociativityHitRateOrdering(t *testing.T) {
+	// Table 6: the 29-way LH-Cache has a higher hit rate than the
+	// direct-mapped Alloy Cache.
+	lh := runOne(t, smallConfig("omnetpp_r", DesignLH))
+	alloy := runOne(t, smallConfig("omnetpp_r", DesignAlloy))
+	if lh.DCReadHitRate <= alloy.DCReadHitRate {
+		t.Fatalf("29-way hit rate %.3f not above direct-mapped %.3f",
+			lh.DCReadHitRate, alloy.DCReadHitRate)
+	}
+}
+
+func TestPerfectPredictorBeatsSAM(t *testing.T) {
+	cfg := smallConfig("mcf_r", DesignAlloy)
+	cfg.Predictor = PredSAM
+	sam := runOne(t, cfg)
+	cfg.Predictor = PredPerfect
+	perfect := runOne(t, cfg)
+	if perfect.ExecCycles >= sam.ExecCycles {
+		t.Fatalf("perfect prediction (%v) not faster than SAM (%v)",
+			perfect.ExecCycles, sam.ExecCycles)
+	}
+	if perfect.Accuracy.Overall() != 1.0 {
+		t.Fatalf("perfect predictor accuracy %v, want 1", perfect.Accuracy.Overall())
+	}
+}
+
+func TestPAMDoublesMemoryTraffic(t *testing.T) {
+	// Table 5: PAM sends every L3 miss to memory, so reads that would be
+	// cache hits become wasted memory accesses.
+	cfg := smallConfig("sphinx_r", DesignAlloy) // high hit rate: much waste
+	cfg.Predictor = PredPAM
+	pam := runOne(t, cfg)
+	cfg.Predictor = PredSAM
+	sam := runOne(t, cfg)
+	if pam.WastedMemReads == 0 {
+		t.Fatal("PAM produced no wasted memory reads")
+	}
+	if pam.MemReads <= sam.MemReads {
+		t.Fatalf("PAM memory reads %d not above SAM %d", pam.MemReads, sam.MemReads)
+	}
+}
+
+func TestMAPIAccuracyAboveMajority(t *testing.T) {
+	cfg := smallConfig("mcf_r", DesignAlloy)
+	cfg.Predictor = PredMAPI
+	r := runOne(t, cfg)
+	// Majority-class prediction would score max(hit, 1-hit); MAP-I must
+	// comfortably beat a coin flip and roughly match or beat majority.
+	if r.Accuracy.Overall() < 0.75 {
+		t.Fatalf("MAP-I accuracy %.2f, want >= 0.75", r.Accuracy.Overall())
+	}
+}
+
+func TestAlloyRowBufferLocality(t *testing.T) {
+	// §2.7: direct-mapped organizations see real row-buffer hit rates; a
+	// streaming workload must show them clearly.
+	cfg := smallConfig("libquantum_r", DesignAlloy)
+	r := runOne(t, cfg)
+	if r.RowBufferHitRate < 0.3 {
+		t.Fatalf("Alloy row-buffer hit rate %.2f on libquantum, want > 0.3", r.RowBufferHitRate)
+	}
+	lh := runOne(t, smallConfig("libquantum_r", DesignLH))
+	if lh.RowBufferHitRate > r.RowBufferHitRate {
+		t.Fatal("LH-Cache should not have more row locality than Alloy")
+	}
+}
+
+func TestFootprintTracking(t *testing.T) {
+	cfg := smallConfig("sphinx_r", DesignNone)
+	cfg.TrackFootprint = true
+	cfg.InstructionsPerCore = 50_000
+	r := runOne(t, cfg)
+	if r.FootprintBytes == 0 {
+		t.Fatal("footprint tracking produced nothing")
+	}
+	// sphinx's scaled footprint: 10 MB/copy / 64 * 8 copies = 1.25 MB cap.
+	if r.FootprintBytes > 4<<20 {
+		t.Fatalf("footprint %d larger than the workload's regions", r.FootprintBytes)
+	}
+}
+
+func TestMPKIReported(t *testing.T) {
+	r := runOne(t, smallConfig("mcf_r", DesignNone))
+	if r.MPKI <= 0 || r.MPKI > 100 {
+		t.Fatalf("MPKI = %v, want in (0, 100)", r.MPKI)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := runOne(t, smallConfig("sphinx_r", DesignAlloy))
+	s := r.String()
+	if !strings.Contains(s, "sphinx_r") || !strings.Contains(s, "alloy") {
+		t.Fatalf("result string missing fields: %s", s)
+	}
+	if r.IPC() <= 0 {
+		t.Fatal("IPC not positive")
+	}
+}
+
+func TestBaselineHasNoDRAMCacheStats(t *testing.T) {
+	r := runOne(t, smallConfig("mcf_r", DesignNone))
+	if r.DCHitRate != 0 || r.HitLatency != 0 {
+		t.Fatalf("baseline reports DRAM-cache stats: %+v", r)
+	}
+	if r.MemReads == 0 {
+		t.Fatal("baseline made no memory reads")
+	}
+}
+
+func TestCacheSizeImprovesHitRate(t *testing.T) {
+	// Figure 9 / Table 6 direction: bigger cache, better hit rate.
+	small := smallConfig("mcf_r", DesignAlloy)
+	small.DRAMCacheBytes = 64 << 20
+	big := smallConfig("mcf_r", DesignAlloy)
+	big.DRAMCacheBytes = 1024 << 20
+	rs := runOne(t, small)
+	rb := runOne(t, big)
+	if rb.DCReadHitRate <= rs.DCReadHitRate {
+		t.Fatalf("1GB hit rate %.3f not above 64MB %.3f", rb.DCReadHitRate, rs.DCReadHitRate)
+	}
+}
+
+func TestGapScaleLowersMPKI(t *testing.T) {
+	cfg := smallConfig("mcf_r", DesignNone)
+	cfg.GapScale = 1
+	dense := runOne(t, cfg)
+	cfg.GapScale = 4
+	sparse := runOne(t, cfg)
+	if sparse.MPKI >= dense.MPKI {
+		t.Fatalf("GapScale 4 MPKI %.1f not below GapScale 1 %.1f", sparse.MPKI, dense.MPKI)
+	}
+}
+
+func TestWriteBufferBoundsInFlightWrites(t *testing.T) {
+	cfg := smallConfig("lbm_r", DesignAlloy) // write-heavy
+	cfg.WriteBufferEntries = 4
+	r := runOne(t, cfg)
+	cfg.WriteBufferEntries = 256
+	r2 := runOne(t, cfg)
+	// A tiny write buffer must not deadlock, and more buffering should
+	// not hurt.
+	if r.ExecCycles <= 0 || r2.ExecCycles <= 0 {
+		t.Fatal("runs did not complete")
+	}
+	if r2.ExecCycles > r.ExecCycles*1.05 {
+		t.Fatalf("bigger write buffer slower: %v vs %v", r2.ExecCycles, r.ExecCycles)
+	}
+}
+
+func TestIdealLONoTagCapacityAdvantage(t *testing.T) {
+	with := runOne(t, smallConfig("mcf_r", DesignIdealLO))
+	without := runOne(t, smallConfig("mcf_r", DesignIdealLONoTag))
+	if without.DCReadHitRate < with.DCReadHitRate {
+		t.Fatalf("NoTagOverhead hit rate %.3f below tagged %.3f",
+			without.DCReadHitRate, with.DCReadHitRate)
+	}
+}
+
+func TestGeneratorOverrideValidation(t *testing.T) {
+	cfg := smallConfig("sphinx_r", DesignAlloy)
+	prof, _ := trace.ByName("sphinx_r")
+	cfg.Generators = []trace.Generator{prof.MustBuild(1, 64, 0)} // wrong count
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("generator count mismatch accepted")
+	}
+	// Correct count with an arbitrary label works even for unknown names.
+	cfg.Workload = "captured-trace"
+	cfg.Generators = nil
+	for i := 0; i < cfg.Cores; i++ {
+		cfg.Generators = append(cfg.Generators, prof.MustBuild(uint64(i+1), 64, 0))
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid generator override rejected: %v", err)
+	}
+	r := runOne(t, cfg)
+	if r.Workload != "captured-trace" {
+		t.Fatalf("workload label lost: %q", r.Workload)
+	}
+}
+
+func TestL3PolicyKnob(t *testing.T) {
+	cfg := smallConfig("gcc_r", DesignNone)
+	cfg.L3Policy = "srrip"
+	r := runOne(t, cfg)
+	if r.L3.Accesses() == 0 {
+		t.Fatal("no L3 activity")
+	}
+	cfg.L3Policy = "bogus"
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("bogus L3 policy accepted")
+	}
+}
+
+func TestPrivateL2FiltersL3Traffic(t *testing.T) {
+	without := smallConfig("sphinx_r", DesignAlloy)
+	with := without
+	with.L2Bytes = 256 << 10 << 6 // 256 KB per core at paper scale (x64 for /Scale)
+	a := runOne(t, without)
+	b := runOne(t, with)
+	if b.L3.Accesses() >= a.L3.Accesses() {
+		t.Fatalf("private L2s did not filter L3 traffic: %d vs %d",
+			b.L3.Accesses(), a.L3.Accesses())
+	}
+	if b.ExecCycles >= a.ExecCycles {
+		t.Fatalf("private L2s did not help: %v vs %v", b.ExecCycles, a.ExecCycles)
+	}
+}
+
+func TestL2ValidationRejectsTiny(t *testing.T) {
+	cfg := smallConfig("sphinx_r", DesignAlloy)
+	cfg.L2Bytes = 1024 // far below one scaled set
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("tiny L2 accepted")
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := smallConfig("mcf_r", DesignAlloy)
+	cfg.Predictor = PredMAPG
+	cfg.DRAMCacheBytes = 512 << 20
+	cfg.L2Bytes = 16 << 20
+	cfg.Stacked.Channels = 8
+
+	var buf strings.Builder
+	if err := SaveConfig(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Generators = nil
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", cfg) {
+		t.Fatalf("round trip changed config:\n got %+v\nwant %+v", got, cfg)
+	}
+	// The loaded config must actually run.
+	got.InstructionsPerCore = 20_000
+	got.WarmupRefs = 1_000
+	runOne(t, got)
+}
+
+func TestLoadConfigRejectsInvalid(t *testing.T) {
+	if _, err := LoadConfig(strings.NewReader(`{"Workload":"nope"}`)); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+	if _, err := LoadConfig(strings.NewReader(`{"Bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := LoadConfig(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestConfigFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/cfg.json"
+	cfg := smallConfig("gcc_r", DesignLH)
+	if err := SaveConfigFile(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfigFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != "gcc_r" || got.Design != DesignLH {
+		t.Fatalf("loaded %+v", got)
+	}
+	if _, err := LoadConfigFile(path + ".missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

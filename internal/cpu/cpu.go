@@ -1,0 +1,180 @@
+// Package cpu models the processor cores driving the memory system: a
+// trace-driven core that fetches references at a base IPC, overlaps up to
+// MLP outstanding reads (memory-level parallelism of a 4-wide out-of-order
+// window), and stalls when the window fills. Stores are fire-and-forget.
+//
+// The model deliberately omits non-memory microarchitecture: the paper's
+// conclusions are driven entirely by the memory system, and what the core
+// must contribute is latency sensitivity — longer DRAM-cache hit latency
+// must translate into longer execution time, moderated by the amount of
+// memory-level parallelism. That is exactly what this model produces.
+package cpu
+
+import (
+	"fmt"
+
+	"alloysim/internal/memaddr"
+	"alloysim/internal/sim"
+	"alloysim/internal/trace"
+)
+
+// MemPort is the memory system as seen by a core: it services reads with a
+// completion callback and absorbs writes.
+type MemPort interface {
+	// Read issues a demand load at cycle now; the port must invoke
+	// complete exactly once with the cycle the data arrives.
+	Read(now sim.Cycle, core int, pc uint64, line memaddr.Line, complete func(sim.Cycle))
+	// Write issues a store at cycle now. Stores do not block retirement,
+	// but a full downstream write buffer exerts backpressure: a non-zero
+	// return tells the core not to issue further references before that
+	// cycle (store-buffer stall).
+	Write(now sim.Cycle, core int, line memaddr.Line) (stallUntil sim.Cycle)
+}
+
+// Config sets the core's parameters.
+type Config struct {
+	IPC float64 // base retire rate for non-memory instructions (4-wide: 4.0)
+	MLP int     // maximum overlapped outstanding reads
+}
+
+// DefaultConfig returns the paper's core: 4-wide, with a memory-level
+// parallelism window of 2 outstanding reads — the effective MLP of the
+// SPEC 2006 suite's memory-bound codes (pointer chases sustain 1-2).
+func DefaultConfig() Config { return Config{IPC: 4, MLP: 2} }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.IPC <= 0 {
+		return fmt.Errorf("cpu: IPC must be positive, got %v", c.IPC)
+	}
+	if c.MLP <= 0 {
+		return fmt.Errorf("cpu: MLP must be positive, got %d", c.MLP)
+	}
+	return nil
+}
+
+// Core is one trace-driven processor.
+type Core struct {
+	id     int
+	cfg    Config
+	gen    trace.Generator
+	eng    *sim.Engine
+	port   MemPort
+	budget uint64 // instructions to retire
+
+	retired     uint64
+	outstanding int
+	nextReady   sim.Cycle // earliest cycle the next ref may issue
+	issueDone   bool      // trace exhausted (budget reached)
+	stalled     bool      // waiting for an MLP slot
+	finished    bool
+	finishAt    sim.Cycle
+
+	reads, writes uint64
+	onFinish      func(*Core)
+}
+
+// New creates a core that will retire `instructions` instructions.
+func New(id int, cfg Config, gen trace.Generator, eng *sim.Engine, port MemPort, instructions uint64) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if gen == nil || eng == nil || port == nil {
+		return nil, fmt.Errorf("cpu: nil generator, engine, or port")
+	}
+	return &Core{id: id, cfg: cfg, gen: gen, eng: eng, port: port, budget: instructions}, nil
+}
+
+// OnFinish registers a callback invoked when the core retires its budget
+// and drains all outstanding reads.
+func (c *Core) OnFinish(f func(*Core)) { c.onFinish = f }
+
+// Start schedules the core's first issue event.
+func (c *Core) Start() {
+	c.eng.Schedule(c.eng.Now(), c.issue)
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Finished reports whether the core has retired its budget and drained.
+func (c *Core) Finished() bool { return c.finished }
+
+// FinishTime returns the cycle the core finished (valid once Finished).
+func (c *Core) FinishTime() sim.Cycle { return c.finishAt }
+
+// Retired returns instructions retired so far.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Reads returns demand loads issued.
+func (c *Core) Reads() uint64 { return c.reads }
+
+// Writes returns stores issued.
+func (c *Core) Writes() uint64 { return c.writes }
+
+// issue processes one trace reference; it runs as an engine event.
+func (c *Core) issue() {
+	now := c.eng.Now()
+	if c.retired >= c.budget {
+		c.issueDone = true
+		c.maybeFinish(now)
+		return
+	}
+
+	ref := c.gen.Next()
+	c.retired += uint64(ref.Gap) + 1
+
+	var writeStall sim.Cycle
+	if ref.Write {
+		c.writes++
+		writeStall = c.port.Write(now, c.id, ref.Line)
+	} else {
+		c.reads++
+		c.outstanding++
+		c.port.Read(now, c.id, ref.PC, ref.Line, c.readComplete)
+	}
+
+	// Advance the fetch front by the instruction gap at base IPC.
+	gapCycles := sim.Cycle(float64(ref.Gap)/c.cfg.IPC) + 1
+	c.nextReady = now + gapCycles
+	if writeStall > c.nextReady {
+		c.nextReady = writeStall
+	}
+
+	if c.outstanding >= c.cfg.MLP {
+		c.stalled = true
+		return
+	}
+	c.eng.Schedule(c.nextReady, c.issue)
+}
+
+// readComplete is invoked by the memory port when a load's data arrives.
+func (c *Core) readComplete(done sim.Cycle) {
+	c.eng.Schedule(done, func() {
+		c.outstanding--
+		if c.outstanding < 0 {
+			panic(fmt.Sprintf("cpu: core %d outstanding went negative", c.id))
+		}
+		now := c.eng.Now()
+		if c.stalled && c.outstanding < c.cfg.MLP {
+			c.stalled = false
+			at := c.nextReady
+			if now > at {
+				at = now
+			}
+			c.eng.Schedule(at, c.issue)
+		}
+		c.maybeFinish(now)
+	})
+}
+
+func (c *Core) maybeFinish(now sim.Cycle) {
+	if c.finished || !c.issueDone || c.outstanding > 0 {
+		return
+	}
+	c.finished = true
+	c.finishAt = now
+	if c.onFinish != nil {
+		c.onFinish(c)
+	}
+}

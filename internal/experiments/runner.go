@@ -1,0 +1,240 @@
+// Package experiments defines one registered experiment per table and
+// figure in the paper's evaluation, and the Runner that executes the
+// underlying simulations with memoization (the baseline run of a workload
+// is shared by every design comparison).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"alloysim/internal/core"
+	"alloysim/internal/stats"
+	"alloysim/internal/trace"
+)
+
+// Params sets the global simulation scale for all experiments.
+type Params struct {
+	// Scale divides all capacities and footprints (see core.Config.Scale).
+	Scale uint64
+	// InstructionsPerCore is the measured budget per core.
+	InstructionsPerCore uint64
+	// WarmupRefs per core before measurement.
+	WarmupRefs uint64
+	// Cores in the rate-mode system.
+	Cores int
+	// CacheMB is the paper-scale DRAM-cache size in MB (default 256).
+	CacheMB uint64
+	// GapScale multiplies workload instruction gaps (intensity calibration).
+	GapScale uint32
+	// Seed perturbs the generators.
+	Seed uint64
+	// Parallelism bounds concurrent simulations during Prefetch (each
+	// simulation is single-threaded and independent). Zero means
+	// runtime.NumCPU.
+	Parallelism int
+	// Progress, when non-nil, receives one line per completed simulation.
+	Progress io.Writer
+}
+
+// DefaultParams returns the scale used for the committed EXPERIMENTS.md
+// numbers: 1/64 capacity scale, 1.5 M instructions per core.
+func DefaultParams() Params {
+	return Params{
+		Scale:               64,
+		InstructionsPerCore: 1_500_000,
+		WarmupRefs:          50_000,
+		Cores:               8,
+		CacheMB:             256,
+		GapScale:            2,
+		Seed:                1,
+	}
+}
+
+// QuickParams returns a reduced scale for smoke tests and benchmarks.
+func QuickParams() Params {
+	p := DefaultParams()
+	p.InstructionsPerCore = 250_000
+	p.WarmupRefs = 12_000
+	return p
+}
+
+// Runner executes simulations with memoization. Run is safe for
+// concurrent use; Prefetch exploits that to fill the memo in parallel.
+type Runner struct {
+	p     Params
+	mu    sync.Mutex
+	cache map[string]core.Result
+}
+
+// NewRunner creates a runner.
+func NewRunner(p Params) *Runner {
+	return &Runner{p: p, cache: make(map[string]core.Result)}
+}
+
+// Point identifies one simulation in the memo space.
+type Point struct {
+	Workload  string
+	Design    core.Design
+	Predictor core.PredictorKind
+	CacheMB   uint64
+}
+
+// Prefetch runs the given points concurrently (bounded by Parallelism)
+// so later sequential Run calls hit the memo. The first error wins;
+// remaining work still drains.
+func (r *Runner) Prefetch(points []Point) error {
+	par := r.p.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, par)
+	errc := make(chan error, len(points))
+	var wg sync.WaitGroup
+	for _, pt := range points {
+		pt := pt
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := r.Run(pt.Workload, pt.Design, pt.Predictor, pt.CacheMB); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	return <-errc
+}
+
+// Params returns the runner's parameters.
+func (r *Runner) Params() Params { return r.p }
+
+// Run simulates one (workload, design, predictor, cacheMB) point. cacheMB
+// is paper-scale; zero uses the runner default. Results are memoized.
+func (r *Runner) Run(workload string, d core.Design, pk core.PredictorKind, cacheMB uint64) (core.Result, error) {
+	if cacheMB == 0 {
+		cacheMB = r.p.CacheMB
+	}
+	if d == core.DesignNone {
+		cacheMB = 0 // baseline is independent of cache size
+	}
+	key := fmt.Sprintf("%s|%s|%s|%d", workload, d, pk, cacheMB)
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+	cfg := core.DefaultConfig(workload)
+	cfg.Design = d
+	cfg.Predictor = pk
+	cfg.Scale = r.p.Scale
+	cfg.InstructionsPerCore = r.p.InstructionsPerCore
+	cfg.WarmupRefs = r.p.WarmupRefs
+	cfg.Cores = r.p.Cores
+	cfg.GapScale = r.p.GapScale
+	cfg.Seed = r.p.Seed
+	if cacheMB > 0 {
+		cfg.DRAMCacheBytes = cacheMB << 20
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return core.Result{}, err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return core.Result{}, err
+	}
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	if r.p.Progress != nil {
+		fmt.Fprintf(r.p.Progress, "  ran %s\n", key)
+	}
+	return res, nil
+}
+
+// Speedup returns the speedup of a design run over the workload baseline.
+func (r *Runner) Speedup(workload string, d core.Design, pk core.PredictorKind, cacheMB uint64) (float64, error) {
+	base, err := r.Run(workload, core.DesignNone, core.PredDefault, 0)
+	if err != nil {
+		return 0, err
+	}
+	res, err := r.Run(workload, d, pk, cacheMB)
+	if err != nil {
+		return 0, err
+	}
+	return res.SpeedupOver(base), nil
+}
+
+// DetailedWorkloads returns the ten memory-intensive workload names in
+// Table 3 order.
+func DetailedWorkloads() []string {
+	var names []string
+	for _, p := range trace.MemoryIntensive() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// OtherWorkloads returns the fourteen Figure 11 workload names.
+func OtherWorkloads() []string {
+	var names []string
+	for _, p := range trace.Others() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// GeoMeanSpeedup runs a design over all workloads and returns per-workload
+// speedups plus their geometric mean.
+func (r *Runner) GeoMeanSpeedup(workloads []string, d core.Design, pk core.PredictorKind, cacheMB uint64) (map[string]float64, float64, error) {
+	per := make(map[string]float64, len(workloads))
+	var vals []float64
+	for _, w := range workloads {
+		s, err := r.Speedup(w, d, pk, cacheMB)
+		if err != nil {
+			return nil, 0, err
+		}
+		per[w] = s
+		vals = append(vals, s)
+	}
+	return per, stats.GeoMean(vals), nil
+}
+
+// Experiment is one registered table or figure reproduction.
+type Experiment struct {
+	// ID matches the DESIGN.md per-experiment index, e.g. "fig4".
+	ID string
+	// Title is the paper artifact being reproduced.
+	Title string
+	// Run executes the experiment and renders its table to w.
+	Run func(r *Runner, w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,274 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"lru", "random", "bip", "dip", "nru", "srrip"} {
+		p, err := New(name, 4, 4)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("Name() = %q, want %q", p.Name(), name)
+		}
+	}
+	if _, err := New("bogus", 4, 4); err == nil {
+		t.Fatal("New(bogus) should fail")
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	p := NewLRU(1, 4)
+	for w := 0; w < 4; w++ {
+		p.Insert(0, w)
+	}
+	// Touch everything except way 2.
+	p.Touch(0, 0)
+	p.Touch(0, 1)
+	p.Touch(0, 3)
+	if v := p.Victim(0); v != 2 {
+		t.Fatalf("victim = %d, want 2", v)
+	}
+	p.Touch(0, 2)
+	if v := p.Victim(0); v != 0 {
+		t.Fatalf("victim after touching 2 = %d, want 0", v)
+	}
+}
+
+func TestLRUSetsIndependent(t *testing.T) {
+	p := NewLRU(2, 2)
+	p.Insert(0, 0)
+	p.Insert(0, 1)
+	p.Insert(1, 1)
+	p.Insert(1, 0)
+	if v := p.Victim(0); v != 0 {
+		t.Fatalf("set 0 victim = %d, want 0", v)
+	}
+	if v := p.Victim(1); v != 1 {
+		t.Fatalf("set 1 victim = %d, want 1", v)
+	}
+}
+
+func TestLRUSequenceProperty(t *testing.T) {
+	// Property: after touching ways in any order, the victim is the way
+	// whose last touch was earliest.
+	f := func(touches []uint8) bool {
+		const assoc = 8
+		p := NewLRU(1, assoc)
+		last := make(map[int]int)
+		for w := 0; w < assoc; w++ {
+			p.Insert(0, w)
+			last[w] = -assoc + w // insertion order
+		}
+		for i, raw := range touches {
+			w := int(raw) % assoc
+			p.Touch(0, w)
+			last[w] = i
+		}
+		want, wantT := 0, last[0]
+		for w := 1; w < assoc; w++ {
+			if last[w] < wantT {
+				want, wantT = w, last[w]
+			}
+		}
+		return p.Victim(0) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomInRangeAndDeterministic(t *testing.T) {
+	a := NewRandom(4, 29, 7)
+	b := NewRandom(4, 29, 7)
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		va, vb := a.Victim(0), b.Victim(0)
+		if va != vb {
+			t.Fatal("same-seed random policies diverged")
+		}
+		if va < 0 || va >= 29 {
+			t.Fatalf("victim %d out of range", va)
+		}
+		seen[va] = true
+	}
+	if len(seen) < 25 {
+		t.Fatalf("random victim hit only %d of 29 ways", len(seen))
+	}
+}
+
+func TestBIPInsertsMostlyAtLRU(t *testing.T) {
+	p := NewBIP(1, 4)
+	for w := 0; w < 4; w++ {
+		p.lru.Touch(0, w)
+	}
+	// A fresh BIP insert should (usually) stay the victim because it is
+	// placed at LRU.
+	atLRU := 0
+	for i := 0; i < Epsilon*4; i++ {
+		p.Insert(0, 1)
+		if p.Victim(0) == 1 {
+			atLRU++
+		}
+		p.lru.Touch(0, 1) // reset for next round
+	}
+	if atLRU < Epsilon*3 {
+		t.Fatalf("BIP inserted at LRU only %d/%d times", atLRU, Epsilon*4)
+	}
+	if atLRU == Epsilon*4 {
+		t.Fatal("BIP never inserted at MRU; bimodal path is dead")
+	}
+}
+
+func TestDIPDuelingConvergesToLRU(t *testing.T) {
+	// Workload with strong recency (LRU-friendly): repeated touches to the
+	// same small working set. LRU-dedicated sets stop missing; BIP sets
+	// keep missing; PSEL should fall toward LRU.
+	p := NewDIP(64, 4)
+	start := p.PSEL()
+	for i := 0; i < 500; i++ {
+		p.Miss(1) // set 1 is BIP-dedicated: vote LRU
+	}
+	if p.PSEL() >= start {
+		t.Fatalf("PSEL did not move toward LRU: %d -> %d", start, p.PSEL())
+	}
+	if p.usesBIP(5) {
+		t.Fatal("follower set should use LRU after BIP-dedicated misses")
+	}
+}
+
+func TestDIPDuelingConvergesToBIP(t *testing.T) {
+	p := NewDIP(64, 4)
+	for i := 0; i < 600; i++ {
+		p.Miss(0) // LRU-dedicated set missing: vote BIP
+	}
+	if !p.usesBIP(5) {
+		t.Fatal("follower set should use BIP after LRU-dedicated misses")
+	}
+}
+
+func TestDIPPSELSaturates(t *testing.T) {
+	p := NewDIP(64, 4)
+	for i := 0; i < 5000; i++ {
+		p.Miss(0)
+	}
+	if p.PSEL() != 1023 {
+		t.Fatalf("PSEL = %d, want saturation at 1023", p.PSEL())
+	}
+	for i := 0; i < 5000; i++ {
+		p.Miss(1)
+	}
+	if p.PSEL() != 0 {
+		t.Fatalf("PSEL = %d, want saturation at 0", p.PSEL())
+	}
+}
+
+func TestDIPDedicatedSetsFixed(t *testing.T) {
+	p := NewDIP(128, 4)
+	if p.usesBIP(0) {
+		t.Fatal("set 0 must be LRU-dedicated")
+	}
+	if !p.usesBIP(1) {
+		t.Fatal("set 1 must be BIP-dedicated")
+	}
+	if p.usesBIP(32) {
+		t.Fatal("set 32 must be LRU-dedicated")
+	}
+}
+
+func TestNRUVictimHasClearBit(t *testing.T) {
+	p := NewNRU(1, 4)
+	for w := 0; w < 4; w++ {
+		p.Insert(0, w)
+	}
+	// All referenced: sweep clears and returns a valid way.
+	v := p.Victim(0)
+	if v < 0 || v >= 4 {
+		t.Fatalf("victim %d out of range", v)
+	}
+	// After a victim, the untouched ways should be preferred.
+	p.Touch(0, (v+1)%4)
+	v2 := p.Victim(0)
+	if v2 == (v+1)%4 {
+		t.Fatal("NRU evicted a just-touched way while others had clear bits")
+	}
+}
+
+func TestVictimAlwaysInRange(t *testing.T) {
+	f := func(ops []uint16, which uint8) bool {
+		names := []string{"lru", "random", "bip", "dip", "nru", "srrip"}
+		p, err := New(names[int(which)%len(names)], 8, 4)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			set := int(op>>2) % 8
+			way := int(op) % 4
+			switch op % 3 {
+			case 0:
+				p.Touch(set, way)
+			case 1:
+				p.Insert(set, way)
+			case 2:
+				p.Miss(set)
+			}
+			if v := p.Victim(set); v < 0 || v >= 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSRRIPScanResistance(t *testing.T) {
+	// A reused working set of 3 lines plus a one-off scan line: SRRIP must
+	// evict the scan line, not a working-set member.
+	p := NewSRRIP(1, 4)
+	for w := 0; w < 3; w++ {
+		p.Insert(0, w)
+		p.Touch(0, w) // reused: RRPV 0
+	}
+	p.Insert(0, 3) // scan line: RRPV 2
+	if v := p.Victim(0); v != 3 {
+		t.Fatalf("victim = %d, want the scan line (3)", v)
+	}
+}
+
+func TestSRRIPHitPromotes(t *testing.T) {
+	p := NewSRRIP(1, 2)
+	p.Insert(0, 0)
+	p.Insert(0, 1)
+	p.Touch(0, 0)
+	// Way 1 (inserted, never reused) ages to distant first.
+	if v := p.Victim(0); v != 1 {
+		t.Fatalf("victim = %d, want 1", v)
+	}
+}
+
+func TestSRRIPAgingTerminates(t *testing.T) {
+	p := NewSRRIP(2, 8)
+	for w := 0; w < 8; w++ {
+		p.Insert(1, w)
+		p.Touch(1, w)
+	}
+	v := p.Victim(1) // requires two aging rounds; must terminate
+	if v < 0 || v >= 8 {
+		t.Fatalf("victim %d out of range", v)
+	}
+}
+
+func TestSRRIPViaRegistry(t *testing.T) {
+	p, err := New("srrip", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "srrip" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}

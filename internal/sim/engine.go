@@ -1,0 +1,128 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a priority queue of events keyed by (cycle, sequence
+// number). Events scheduled for the same cycle fire in the order they were
+// scheduled, which makes simulations fully deterministic and therefore
+// reproducible across runs and platforms.
+package sim
+
+import "fmt"
+
+// Cycle is a point in simulated time, measured in processor clock cycles.
+type Cycle uint64
+
+// Event is a unit of work scheduled to run at a particular cycle.
+type Event func()
+
+type entry struct {
+	at   Cycle
+	seq  uint64
+	work Event
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	heap   []entry
+	nSteps uint64
+}
+
+// NewEngine returns an engine with its clock at cycle zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.nSteps }
+
+// Pending returns the number of events waiting to execute.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule enqueues work to run at the given absolute cycle. Scheduling in
+// the past panics: it indicates a causality bug in the model.
+func (e *Engine) Schedule(at Cycle, work Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at cycle %d before now %d", at, e.now))
+	}
+	e.seq++
+	e.push(entry{at: at, seq: e.seq, work: work})
+}
+
+// After enqueues work to run delay cycles from now.
+func (e *Engine) After(delay Cycle, work Event) {
+	e.Schedule(e.now+delay, work)
+}
+
+// Step executes the next pending event, advancing the clock to its cycle.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	next := e.pop()
+	e.now = next.at
+	e.nSteps++
+	next.work()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with cycle <= limit. Events scheduled beyond the
+// limit remain queued. It reports whether the queue drained.
+func (e *Engine) RunUntil(limit Cycle) bool {
+	for len(e.heap) > 0 && e.heap[0].at <= limit {
+		e.Step()
+	}
+	return len(e.heap) == 0
+}
+
+func (e *Engine) less(i, j int) bool {
+	if e.heap[i].at != e.heap[j].at {
+		return e.heap[i].at < e.heap[j].at
+	}
+	return e.heap[i].seq < e.heap[j].seq
+}
+
+func (e *Engine) push(it entry) {
+	e.heap = append(e.heap, it)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() entry {
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(e.heap) && e.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(e.heap) && e.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineZeroValue(t *testing.T) {
+	var e Engine
+	if e.Now() != 0 {
+		t.Fatalf("zero engine Now = %d, want 0", e.Now())
+	}
+	if e.Step() {
+		t.Fatal("Step on empty engine reported work")
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final Now = %d, want 30", e.Now())
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.Schedule(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-cycle events out of FIFO order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	e := NewEngine()
+	var fired Cycle
+	e.Schedule(100, func() {
+		e.After(25, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 125 {
+		t.Fatalf("After(25) from cycle 100 fired at %d, want 125", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for _, c := range []Cycle{5, 10, 15, 20} {
+		e.Schedule(c, func() { count++ })
+	}
+	if e.RunUntil(12) {
+		t.Fatal("RunUntil(12) claimed the queue drained")
+	}
+	if count != 2 {
+		t.Fatalf("RunUntil(12) ran %d events, want 2", count)
+	}
+	if !e.RunUntil(100) {
+		t.Fatal("RunUntil(100) did not drain")
+	}
+	if count != 4 {
+		t.Fatalf("total events %d, want 4", count)
+	}
+}
+
+func TestCascadedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		if depth < 1000 {
+			depth++
+			e.After(1, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run()
+	if depth != 1000 {
+		t.Fatalf("cascade depth %d, want 1000", depth)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("Now = %d, want 1000", e.Now())
+	}
+	if e.Steps() != 1001 {
+		t.Fatalf("Steps = %d, want 1001", e.Steps())
+	}
+}
+
+// TestHeapPropertyRandom drains a large random schedule and verifies
+// monotonically non-decreasing firing times.
+func TestHeapPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	e := NewEngine()
+	var times []Cycle
+	const n = 5000
+	want := make([]Cycle, 0, n)
+	for i := 0; i < n; i++ {
+		c := Cycle(rng.Intn(10000))
+		want = append(want, c)
+		e.Schedule(c, func() { times = append(times, e.Now()) })
+	}
+	e.Run()
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(times) != n {
+		t.Fatalf("ran %d events, want %d", len(times), n)
+	}
+	for i := range times {
+		if times[i] != want[i] {
+			t.Fatalf("event %d fired at %d, want %d", i, times[i], want[i])
+		}
+	}
+}
+
+// Property: for any set of delays, events fire in non-decreasing time order
+// and the engine ends at the max scheduled cycle.
+func TestQuickOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Cycle
+		var max Cycle
+		for _, d := range delays {
+			c := Cycle(d)
+			if c > max {
+				max = c
+			}
+			e.Schedule(c, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || e.Now() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Step()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after one step = %d, want 1", e.Pending())
+	}
+}

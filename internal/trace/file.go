@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"alloysim/internal/memaddr"
+)
+
+// Trace file format: the simulator's bridge to externally captured
+// reference streams (Pin tools, other simulators) and to frozen snapshots
+// of the synthetic generators (cmd/tracegen). The format is a fixed
+// little-endian record stream:
+//
+//	magic   [4]byte "ALTR"
+//	version uint32  (currently 1)
+//	count   uint64  number of records
+//	records count x { pc uint64, line uint64, gap uint32, flags uint8 }
+//
+// flags bit 0 is the write bit; the remaining bits are reserved and must
+// be zero in version 1.
+
+var fileMagic = [4]byte{'A', 'L', 'T', 'R'}
+
+// FileVersion is the current trace-file format version.
+const FileVersion = 1
+
+const recordBytes = 8 + 8 + 4 + 1
+
+// WriteFile writes a complete trace to w.
+func WriteFile(w io.Writer, refs []Ref) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(FileVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(refs))); err != nil {
+		return err
+	}
+	var rec [recordBytes]byte
+	for _, r := range refs {
+		binary.LittleEndian.PutUint64(rec[0:], r.PC)
+		binary.LittleEndian.PutUint64(rec[8:], uint64(r.Line))
+		binary.LittleEndian.PutUint32(rec[16:], r.Gap)
+		if r.Write {
+			rec[20] = 1
+		} else {
+			rec[20] = 0
+		}
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile parses a complete trace from r.
+func ReadFile(r io.Reader) ([]Ref, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != FileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	const maxRecords = 1 << 30 // 1 Gi records ≈ 21 GB: refuse absurd headers
+	if count > maxRecords {
+		return nil, fmt.Errorf("trace: header claims %d records", count)
+	}
+	// Preallocate conservatively: a hostile header must not force a huge
+	// allocation before the (possibly truncated) records are read.
+	prealloc := count
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	refs := make([]Ref, 0, prealloc)
+	var rec [recordBytes]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		flags := rec[20]
+		if flags&^1 != 0 {
+			return nil, fmt.Errorf("trace: record %d: reserved flag bits set (%#x)", i, flags)
+		}
+		refs = append(refs, Ref{
+			PC:    binary.LittleEndian.Uint64(rec[0:]),
+			Line:  memaddr.Line(binary.LittleEndian.Uint64(rec[8:])),
+			Gap:   binary.LittleEndian.Uint32(rec[16:]),
+			Write: flags&1 != 0,
+		})
+	}
+	return refs, nil
+}
+
+// Replay is a Generator that cycles through a fixed reference sequence.
+// When the sequence is exhausted it wraps to the beginning, so finite
+// captured traces can drive arbitrarily long simulations.
+type Replay struct {
+	refs []Ref
+	i    int
+	// Wraps counts how many times the sequence restarted.
+	Wraps int
+}
+
+// NewReplay wraps a reference slice; it must be non-empty.
+func NewReplay(refs []Ref) (*Replay, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("trace: empty replay sequence")
+	}
+	return &Replay{refs: refs}, nil
+}
+
+// Len returns the sequence length.
+func (r *Replay) Len() int { return len(r.refs) }
+
+// Next implements Generator.
+func (r *Replay) Next() Ref {
+	ref := r.refs[r.i]
+	r.i++
+	if r.i == len(r.refs) {
+		r.i = 0
+		r.Wraps++
+	}
+	return ref
+}
+
+// Capture materializes n references from a generator, e.g. to freeze a
+// synthetic workload into a file.
+func Capture(g Generator, n int) []Ref {
+	refs := make([]Ref, n)
+	for i := range refs {
+		refs[i] = g.Next()
+	}
+	return refs
+}

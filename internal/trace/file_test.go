@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"alloysim/internal/memaddr"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	p, _ := ByName("gcc_r")
+	refs := Capture(p.MustBuild(3, 64, 0), 5000)
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, refs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(refs) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got), len(refs))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestFileRoundTripQuick(t *testing.T) {
+	f := func(pcs []uint64, flags []bool) bool {
+		var refs []Ref
+		for i, pc := range pcs {
+			w := i < len(flags) && flags[i]
+			refs = append(refs, Ref{PC: pc, Line: memaddr.Line(7 * (pc % (1 << 40))), Gap: uint32(pc % 100), Write: w})
+		}
+		var buf bytes.Buffer
+		if err := WriteFile(&buf, refs); err != nil {
+			return false
+		}
+		got, err := ReadFile(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(refs) {
+			return false
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFileRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"),
+		"bad version": append([]byte("ALTR"), 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0),
+		"truncated": func() []byte {
+			var buf bytes.Buffer
+			WriteFile(&buf, []Ref{{PC: 1}, {PC: 2}})
+			return buf.Bytes()[:buf.Len()-5]
+		}(),
+		"absurd count": append([]byte("ALTR"), 1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f),
+	}
+	for name, data := range cases {
+		if _, err := ReadFile(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadFileRejectsReservedFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, []Ref{{PC: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-1] = 0x82 // set a reserved bit
+	if _, err := ReadFile(bytes.NewReader(data)); err == nil {
+		t.Fatal("reserved flag bits accepted")
+	}
+}
+
+func TestReplayCycles(t *testing.T) {
+	refs := []Ref{{PC: 1}, {PC: 2}, {PC: 3}}
+	r, err := NewReplay(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 3; i++ {
+			if got := r.Next(); got.PC != uint64(i+1) {
+				t.Fatalf("round %d pos %d: PC %d", round, i, got.PC)
+			}
+		}
+	}
+	if r.Wraps != 3 {
+		t.Fatalf("Wraps = %d, want 3", r.Wraps)
+	}
+}
+
+func TestReplayEmptyRejected(t *testing.T) {
+	if _, err := NewReplay(nil); err == nil {
+		t.Fatal("empty replay accepted")
+	}
+}
+
+func TestCaptureLength(t *testing.T) {
+	p, _ := ByName("sphinx_r")
+	refs := Capture(p.MustBuild(1, 64, 0), 123)
+	if len(refs) != 123 {
+		t.Fatalf("captured %d, want 123", len(refs))
+	}
+}
+
+func TestEmptyTraceRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty trace read back %d records", len(got))
+	}
+}
+
+func TestHostileHeaderDoesNotPreallocate(t *testing.T) {
+	// Regression (found by FuzzReadFile): a header claiming 2^30 records
+	// with no data must fail fast instead of preallocating gigabytes.
+	data := append([]byte("ALTR"), 1, 0, 0, 0, // version
+		0, 0, 0, 0x40, 0, 0, 0, 0) // count = 1<<30
+	if _, err := ReadFile(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated hostile header accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFile hardens the trace-file parser: arbitrary byte soup must
+// either parse into records that round-trip, or error — never panic or
+// over-allocate.
+func FuzzReadFile(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteFile(&seed, []Ref{{PC: 0x400000, Line: 42, Gap: 7, Write: true}})
+	f.Add(seed.Bytes())
+	f.Add([]byte("ALTR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		refs, err := ReadFile(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Successfully parsed content must round-trip exactly.
+		var out bytes.Buffer
+		if err := WriteFile(&out, refs); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadFile(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(back) != len(refs) {
+			t.Fatalf("round trip changed length: %d vs %d", len(back), len(refs))
+		}
+		for i := range refs {
+			if back[i] != refs[i] {
+				t.Fatalf("record %d changed: %+v vs %+v", i, back[i], refs[i])
+			}
+		}
+	})
+}
