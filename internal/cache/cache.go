@@ -9,6 +9,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"alloysim/internal/memaddr"
 	"alloysim/internal/policy"
@@ -32,13 +33,10 @@ func (c Config) Validate() error {
 	if c.Assoc <= 0 {
 		return fmt.Errorf("cache: Assoc must be positive, got %d", c.Assoc)
 	}
+	if c.Assoc > 64 {
+		return fmt.Errorf("cache: Assoc %d exceeds the 64-way bitmask limit", c.Assoc)
+	}
 	return nil
-}
-
-type entry struct {
-	line  memaddr.Line
-	valid bool
-	dirty bool
 }
 
 // Eviction describes a line displaced by a fill.
@@ -71,9 +69,19 @@ func (s Stats) HitRate() float64 {
 
 // Cache is a set-associative cache. It is not safe for concurrent use; the
 // simulator is single-threaded and deterministic by design.
+//
+// Contents are stored struct-of-arrays: a flat tag array plus one valid and
+// one dirty bitmask per set (hence the 64-way limit). The lookup loop walks
+// only the valid ways through the tag array — half the memory traffic of an
+// array-of-structs layout — and a free way is found in O(1) by counting
+// trailing zeros of the inverted valid mask.
 type Cache struct {
 	cfg     Config
-	entries []entry
+	lines   []memaddr.Line // sets*assoc tags
+	valid   []uint64       // per-set way bitmask
+	dirty   []uint64       // per-set way bitmask
+	full    uint64         // assoc ones: the value of a full set's valid mask
+	setMask uint64         // Sets-1 when Sets is a power of two, else 0
 	pol     policy.Policy
 	stats   Stats
 }
@@ -91,9 +99,21 @@ func New(cfg Config) (*Cache, error) {
 	if err != nil {
 		return nil, err
 	}
+	full := ^uint64(0)
+	if cfg.Assoc < 64 {
+		full = 1<<uint(cfg.Assoc) - 1
+	}
+	var setMask uint64
+	if s := uint64(cfg.Sets); s&(s-1) == 0 {
+		setMask = s - 1
+	}
 	return &Cache{
 		cfg:     cfg,
-		entries: make([]entry, cfg.Sets*cfg.Assoc),
+		lines:   make([]memaddr.Line, cfg.Sets*cfg.Assoc),
+		valid:   make([]uint64, cfg.Sets),
+		dirty:   make([]uint64, cfg.Sets),
+		full:    full,
+		setMask: setMask,
 		pol:     pol,
 	}, nil
 }
@@ -117,16 +137,22 @@ func (c *Cache) Stats() Stats { return c.stats }
 // state; used to separate warmup from measurement.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
-// SetOf returns the set index for a line.
+// SetOf returns the set index for a line. Power-of-two set counts take a
+// mask instead of the hardware divide; the Alloy Cache's 28-line rows fall
+// back to the general residue.
 func (c *Cache) SetOf(line memaddr.Line) int {
+	if c.setMask != 0 {
+		return int(uint64(line) & c.setMask)
+	}
 	return int(line.Mod(uint64(c.cfg.Sets)))
 }
 
 // findWay returns the way holding line in set, or -1.
 func (c *Cache) findWay(set int, line memaddr.Line) int {
 	base := set * c.cfg.Assoc
-	for w := 0; w < c.cfg.Assoc; w++ {
-		if e := &c.entries[base+w]; e.valid && e.line == line {
+	for m := c.valid[set]; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if c.lines[base+w] == line {
 			return w
 		}
 	}
@@ -150,7 +176,7 @@ func (c *Cache) Access(line memaddr.Line, write bool) (hit bool, ev Eviction) {
 		c.stats.Hits++
 		if write {
 			c.stats.WriteHits++
-			c.entries[set*c.cfg.Assoc+w].dirty = true
+			c.dirty[set] |= 1 << uint(w)
 		}
 		c.pol.Touch(set, w)
 		return true, Eviction{}
@@ -173,7 +199,7 @@ func (c *Cache) Probe(line memaddr.Line, write bool) bool {
 		c.stats.Hits++
 		if write {
 			c.stats.WriteHits++
-			c.entries[set*c.cfg.Assoc+w].dirty = true
+			c.dirty[set] |= 1 << uint(w)
 		}
 		c.pol.Touch(set, w)
 		return true
@@ -192,7 +218,7 @@ func (c *Cache) Fill(line memaddr.Line, dirty bool) Eviction {
 	set := c.SetOf(line)
 	if w := c.findWay(set, line); w >= 0 {
 		if dirty {
-			c.entries[set*c.cfg.Assoc+w].dirty = true
+			c.dirty[set] |= 1 << uint(w)
 		}
 		return Eviction{}
 	}
@@ -201,24 +227,27 @@ func (c *Cache) Fill(line memaddr.Line, dirty bool) Eviction {
 
 func (c *Cache) fill(set int, line memaddr.Line, dirty bool) Eviction {
 	base := set * c.cfg.Assoc
-	way := -1
-	for w := 0; w < c.cfg.Assoc; w++ {
-		if !c.entries[base+w].valid {
-			way = w
-			break
-		}
-	}
 	var ev Eviction
-	if way < 0 {
+	var way int
+	if free := ^c.valid[set] & c.full; free != 0 {
+		// Lowest invalid way first, matching the policy's insertion model.
+		way = bits.TrailingZeros64(free)
+	} else {
 		way = c.pol.Victim(set)
-		old := &c.entries[base+way]
-		ev = Eviction{Line: old.line, Dirty: old.dirty, Valid: true}
+		wasDirty := c.dirty[set]&(1<<uint(way)) != 0
+		ev = Eviction{Line: c.lines[base+way], Dirty: wasDirty, Valid: true}
 		c.stats.Evictions++
-		if old.dirty {
+		if wasDirty {
 			c.stats.Writebacks++
 		}
 	}
-	c.entries[base+way] = entry{line: line, valid: true, dirty: dirty}
+	c.lines[base+way] = line
+	c.valid[set] |= 1 << uint(way)
+	if dirty {
+		c.dirty[set] |= 1 << uint(way)
+	} else {
+		c.dirty[set] &^= 1 << uint(way)
+	}
 	c.pol.Insert(set, way)
 	return ev
 }
@@ -230,19 +259,19 @@ func (c *Cache) Invalidate(line memaddr.Line) (present, dirty bool) {
 	if w < 0 {
 		return false, false
 	}
-	e := &c.entries[set*c.cfg.Assoc+w]
-	present, dirty = true, e.dirty
-	*e = entry{}
-	return present, dirty
+	bit := uint64(1) << uint(w)
+	dirty = c.dirty[set]&bit != 0
+	c.valid[set] &^= bit
+	c.dirty[set] &^= bit
+	c.lines[set*c.cfg.Assoc+w] = 0
+	return true, dirty
 }
 
 // Occupancy returns the number of valid lines; useful for warmup checks.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for i := range c.entries {
-		if c.entries[i].valid {
-			n++
-		}
+	for _, m := range c.valid {
+		n += bits.OnesCount64(m)
 	}
 	return n
 }

@@ -121,7 +121,7 @@ func (s *System) collect() Result {
 		}
 	}
 	if s.footprint != nil {
-		r.FootprintBytes = uint64(len(s.footprint)) * 64
+		r.FootprintBytes = s.footprint.Count() * 64
 	}
 	return r
 }

@@ -42,7 +42,12 @@ type System struct {
 	belowReads     stats.Counter // L3 read misses
 	belowWrites    stats.Counter // write traffic below the L3
 	wastedMemReads stats.Counter // parallel probes discarded on cache hits
-	footprint      map[memaddr.Line]struct{}
+	footprint      *memaddr.LineSet
+
+	// Pooled engine events for the fill path (see events.go); freelists
+	// keep steady-state scheduling allocation-free.
+	fillFree *fillEvent
+	wbFree   *writebackEvent
 
 	// writeBuf holds the completion times of in-flight writes below the
 	// L3. When it is full, further writes stall the issuing core
@@ -114,7 +119,7 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 
 	if cfg.TrackFootprint {
-		s.footprint = make(map[memaddr.Line]struct{})
+		s.footprint = memaddr.NewLineSet()
 	}
 
 	if cfg.Generators != nil {
@@ -206,16 +211,16 @@ func (s *System) warm() {
 	}
 }
 
-// Read implements cpu.MemPort: the demand-load path.
-func (s *System) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line, complete func(sim.Cycle)) {
+// Read implements cpu.MemPort: the demand-load path. It returns the cycle
+// the data arrives.
+func (s *System) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line) sim.Cycle {
 	if s.footprint != nil {
-		s.footprint[line] = struct{}{}
+		s.footprint.Add(line)
 	}
 	if s.l2 != nil {
 		l2Hit, l2Ev := s.l2[core].Access(line, false)
 		if l2Hit {
-			complete(now + s.l2Lat)
-			return
+			return now + s.l2Lat
 		}
 		now += s.l2Lat // L2 miss detected after its lookup
 		if l2Ev.Valid && l2Ev.Dirty {
@@ -228,8 +233,7 @@ func (s *System) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line, com
 	}
 	hit, ev := s.l3.Access(line, false)
 	if hit {
-		complete(now + s.cfg.L3Latency)
-		return
+		return now + s.cfg.L3Latency
 	}
 	t0 := now + s.cfg.L3Latency // miss detected after the L3 lookup
 	if ev.Valid && ev.Dirty {
@@ -240,7 +244,7 @@ func (s *System) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line, com
 	s.belowReads.Inc()
 	done := s.readBelow(t0, core, pc, line)
 	s.readLat.Observe(float64(done - t0))
-	complete(done)
+	return done
 }
 
 // Write implements cpu.MemPort: stores update the L3 in place on a hit and
@@ -248,7 +252,7 @@ func (s *System) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line, com
 // the core until a slot frees.
 func (s *System) Write(now sim.Cycle, core int, line memaddr.Line) sim.Cycle {
 	if s.footprint != nil {
-		s.footprint[line] = struct{}{}
+		s.footprint.Add(line)
 	}
 	if s.l2 != nil {
 		if s.l2[core].Probe(line, true) {
@@ -342,17 +346,7 @@ func (s *System) readBelow(t0 sim.Cycle, core int, pc uint64, line memaddr.Line)
 			// be scheduled through the engine, not reserved now — a
 			// far-future synchronous reservation would make temporally
 			// earlier requests (processed later) queue behind it.
-			victim := res.Victim
-			s.eng.Schedule(dataAt, func() {
-				f := s.org.Fill(s.eng.Now(), line)
-				if victim.Valid && victim.Dirty {
-					// Dirty victim written back to memory, off the
-					// critical path.
-					s.eng.Schedule(f.Done, func() {
-						s.mem.AccessLine(s.eng.Now(), victim.Line, true)
-					})
-				}
-			})
+			s.scheduleFill(dataAt, line, res.Victim)
 		}
 	}
 	s.pred.Update(core, pc, line, res.Hit)

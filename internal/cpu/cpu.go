@@ -18,12 +18,14 @@ import (
 	"alloysim/internal/trace"
 )
 
-// MemPort is the memory system as seen by a core: it services reads with a
-// completion callback and absorbs writes.
+// MemPort is the memory system as seen by a core: it services reads by
+// reporting the data-arrival cycle and absorbs writes.
 type MemPort interface {
-	// Read issues a demand load at cycle now; the port must invoke
-	// complete exactly once with the cycle the data arrives.
-	Read(now sim.Cycle, core int, pc uint64, line memaddr.Line, complete func(sim.Cycle))
+	// Read issues a demand load at cycle now and returns the cycle the
+	// data arrives (>= now). The memory system resolves the whole access
+	// synchronously — timing-wise the future is computed now, and the
+	// core schedules its own completion event at the returned cycle.
+	Read(now sim.Cycle, core int, pc uint64, line memaddr.Line) (done sim.Cycle)
 	// Write issues a store at cycle now. Stores do not block retirement,
 	// but a full downstream write buffer exerts backpressure: a non-zero
 	// return tells the core not to issue further references before that
@@ -72,7 +74,23 @@ type Core struct {
 
 	reads, writes uint64
 	onFinish      func(*Core)
+
+	// Pre-bound engine handlers: scheduling these allocates nothing
+	// (see sim.Handler). One issue event is pending at a time; complete
+	// events may overlap up to MLP deep, but carry no per-event state.
+	issueEv    issueEvent
+	completeEv completeEvent
 }
+
+// issueEvent fires the core's next trace reference.
+type issueEvent struct{ c *Core }
+
+func (ev *issueEvent) Fire(now sim.Cycle) { ev.c.issue(now) }
+
+// completeEvent retires one outstanding read.
+type completeEvent struct{ c *Core }
+
+func (ev *completeEvent) Fire(now sim.Cycle) { ev.c.readComplete(now) }
 
 // New creates a core that will retire `instructions` instructions.
 func New(id int, cfg Config, gen trace.Generator, eng *sim.Engine, port MemPort, instructions uint64) (*Core, error) {
@@ -82,7 +100,10 @@ func New(id int, cfg Config, gen trace.Generator, eng *sim.Engine, port MemPort,
 	if gen == nil || eng == nil || port == nil {
 		return nil, fmt.Errorf("cpu: nil generator, engine, or port")
 	}
-	return &Core{id: id, cfg: cfg, gen: gen, eng: eng, port: port, budget: instructions}, nil
+	c := &Core{id: id, cfg: cfg, gen: gen, eng: eng, port: port, budget: instructions}
+	c.issueEv.c = c
+	c.completeEv.c = c
+	return c, nil
 }
 
 // OnFinish registers a callback invoked when the core retires its budget
@@ -91,7 +112,7 @@ func (c *Core) OnFinish(f func(*Core)) { c.onFinish = f }
 
 // Start schedules the core's first issue event.
 func (c *Core) Start() {
-	c.eng.Schedule(c.eng.Now(), c.issue)
+	c.eng.ScheduleHandler(c.eng.Now(), &c.issueEv)
 }
 
 // ID returns the core's index.
@@ -113,8 +134,7 @@ func (c *Core) Reads() uint64 { return c.reads }
 func (c *Core) Writes() uint64 { return c.writes }
 
 // issue processes one trace reference; it runs as an engine event.
-func (c *Core) issue() {
-	now := c.eng.Now()
+func (c *Core) issue(now sim.Cycle) {
 	if c.retired >= c.budget {
 		c.issueDone = true
 		c.maybeFinish(now)
@@ -131,7 +151,8 @@ func (c *Core) issue() {
 	} else {
 		c.reads++
 		c.outstanding++
-		c.port.Read(now, c.id, ref.PC, ref.Line, c.readComplete)
+		done := c.port.Read(now, c.id, ref.PC, ref.Line)
+		c.eng.ScheduleHandler(done, &c.completeEv)
 	}
 
 	// Advance the fetch front by the instruction gap at base IPC.
@@ -145,27 +166,24 @@ func (c *Core) issue() {
 		c.stalled = true
 		return
 	}
-	c.eng.Schedule(c.nextReady, c.issue)
+	c.eng.ScheduleHandler(c.nextReady, &c.issueEv)
 }
 
-// readComplete is invoked by the memory port when a load's data arrives.
-func (c *Core) readComplete(done sim.Cycle) {
-	c.eng.Schedule(done, func() {
-		c.outstanding--
-		if c.outstanding < 0 {
-			panic(fmt.Sprintf("cpu: core %d outstanding went negative", c.id))
+// readComplete runs at a load's data-arrival cycle.
+func (c *Core) readComplete(now sim.Cycle) {
+	c.outstanding--
+	if c.outstanding < 0 {
+		panic(fmt.Sprintf("cpu: core %d outstanding went negative", c.id))
+	}
+	if c.stalled && c.outstanding < c.cfg.MLP {
+		c.stalled = false
+		at := c.nextReady
+		if now > at {
+			at = now
 		}
-		now := c.eng.Now()
-		if c.stalled && c.outstanding < c.cfg.MLP {
-			c.stalled = false
-			at := c.nextReady
-			if now > at {
-				at = now
-			}
-			c.eng.Schedule(at, c.issue)
-		}
-		c.maybeFinish(now)
-	})
+		c.eng.ScheduleHandler(at, &c.issueEv)
+	}
+	c.maybeFinish(now)
 }
 
 func (c *Core) maybeFinish(now sim.Cycle) {

@@ -17,17 +17,15 @@ type fakePort struct {
 	maxInFlight int
 }
 
-func (p *fakePort) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line, complete func(sim.Cycle)) {
+func (p *fakePort) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line) sim.Cycle {
 	p.reads = append(p.reads, line)
 	p.inFlight++
 	if p.inFlight > p.maxInFlight {
 		p.maxInFlight = p.inFlight
 	}
 	done := now + p.latency
-	// completion decrements inFlight when consumed by the core; track at
-	// callback time via closure.
-	complete(done)
 	p.inFlight-- // reservation-model: accounted immediately
+	return done
 }
 
 func (p *fakePort) Write(now sim.Cycle, core int, line memaddr.Line) sim.Cycle {
@@ -162,11 +160,11 @@ type trackPort struct {
 	onRead  func(delta int)
 }
 
-func (p *trackPort) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line, complete func(sim.Cycle)) {
+func (p *trackPort) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line) sim.Cycle {
 	p.onRead(+1)
 	done := now + p.latency
 	p.eng.Schedule(done, func() { p.onRead(-1) })
-	complete(done)
+	return done
 }
 
 func (p *trackPort) Write(now sim.Cycle, core int, line memaddr.Line) sim.Cycle { return 0 }
@@ -222,8 +220,8 @@ func TestWriteBackpressureStallsCore(t *testing.T) {
 // stallPort pushes back on every write.
 type stallPort struct{ stallBy sim.Cycle }
 
-func (p *stallPort) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line, complete func(sim.Cycle)) {
-	complete(now + 1)
+func (p *stallPort) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line) sim.Cycle {
+	return now + 1
 }
 
 func (p *stallPort) Write(now sim.Cycle, core int, line memaddr.Line) sim.Cycle {

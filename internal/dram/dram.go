@@ -15,6 +15,7 @@ package dram
 
 import (
 	"fmt"
+	"math/bits"
 
 	"alloysim/internal/memaddr"
 	"alloysim/internal/sim"
@@ -157,7 +158,14 @@ type DRAM struct {
 	cfg      Config
 	banks    []bank
 	channels []channel
-	stats    Stats
+	// Row-to-bank decode runs on every access; when the geometry is a
+	// power of two (all standard configs) the modulo chain reduces to
+	// shifts and masks.
+	geoPow2 bool
+	chMask  uint64 // Channels-1
+	chShift uint   // log2(Channels)
+	bkMask  uint64 // BanksPerChannel-1
+	stats   Stats
 }
 
 // New constructs a device from the config.
@@ -170,11 +178,32 @@ func New(cfg Config) (*DRAM, error) {
 	for i := range banks {
 		banks[i].openRow = noRow
 	}
-	return &DRAM{
+	d := &DRAM{
 		cfg:      cfg,
 		banks:    banks,
 		channels: make([]channel, cfg.Channels),
-	}, nil
+	}
+	ch, bk := uint64(cfg.Channels), uint64(cfg.BanksPerChannel)
+	if ch&(ch-1) == 0 && bk&(bk-1) == 0 {
+		d.geoPow2 = true
+		d.chMask = ch - 1
+		d.chShift = uint(bits.TrailingZeros64(ch))
+		d.bkMask = bk - 1
+	}
+	return d, nil
+}
+
+// bankOf decodes a row index into its channel, per-channel bank, and flat
+// bank index.
+func (d *DRAM) bankOf(row uint64) (ch, bk, idx int) {
+	if d.geoPow2 {
+		ch = int(row & d.chMask)
+		bk = int((row >> d.chShift) & d.bkMask)
+	} else {
+		ch = int(row % uint64(d.cfg.Channels))
+		bk = int(row/uint64(d.cfg.Channels)) % d.cfg.BanksPerChannel
+	}
+	return ch, bk, ch*d.cfg.BanksPerChannel + bk
 }
 
 // MustNew is New but panics on error.
@@ -217,9 +246,8 @@ func (d *DRAM) AccessLine(now Cycle, line memaddr.Line, write bool) Result {
 // this, bursty store streams reserve banks far into the future and every
 // read queues behind them — the opposite of how controllers schedule.)
 func (d *DRAM) AccessRow(now Cycle, row uint64, burst Cycle, write bool) Result {
-	ch := int(row % uint64(d.cfg.Channels))
-	bk := int(row/uint64(d.cfg.Channels)) % d.cfg.BanksPerChannel
-	b := &d.banks[ch*d.cfg.BanksPerChannel+bk]
+	ch, bk, idx := d.bankOf(row)
+	b := &d.banks[idx]
 	c := &d.channels[ch]
 
 	if write {
@@ -328,9 +356,8 @@ func (d *DRAM) refreshAdjust(start Cycle, ch, bk int) Cycle {
 // hit right now, without scheduling anything. DRAM-cache organizations use
 // this when accounting latency components.
 func (d *DRAM) PeekRowOpen(row uint64) bool {
-	ch := int(row % uint64(d.cfg.Channels))
-	bk := int(row/uint64(d.cfg.Channels)) % d.cfg.BanksPerChannel
-	return d.banks[ch*d.cfg.BanksPerChannel+bk].openRow == row
+	_, _, idx := d.bankOf(row)
+	return d.banks[idx].openRow == row
 }
 
 // BusUtilization returns the mean fraction of elapsed cycles the data buses

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -64,15 +65,18 @@ func QuickParams() Params {
 
 // Runner executes simulations with memoization. Run is safe for
 // concurrent use; Prefetch exploits that to fill the memo in parallel.
+// The memo is keyed by the comparable Point struct and guarded by an
+// RWMutex, so concurrent readers replaying a warm memo never serialize
+// on a write lock.
 type Runner struct {
 	p     Params
-	mu    sync.Mutex
-	cache map[string]core.Result
+	mu    sync.RWMutex
+	cache map[Point]core.Result
 }
 
 // NewRunner creates a runner.
 func NewRunner(p Params) *Runner {
-	return &Runner{p: p, cache: make(map[string]core.Result)}
+	return &Runner{p: p, cache: make(map[Point]core.Result)}
 }
 
 // Point identifies one simulation in the memo space.
@@ -83,32 +87,38 @@ type Point struct {
 	CacheMB   uint64
 }
 
+// String renders the point in the stable "workload|design|pred|MB" form
+// used by progress output.
+func (pt Point) String() string {
+	return fmt.Sprintf("%s|%s|%s|%d", pt.Workload, pt.Design, pt.Predictor, pt.CacheMB)
+}
+
 // Prefetch runs the given points concurrently (bounded by Parallelism)
-// so later sequential Run calls hit the memo. The first error wins;
-// remaining work still drains.
+// so later sequential Run calls hit the memo. All points run to
+// completion even when some fail; every failure is reported, joined in
+// input order.
 func (r *Runner) Prefetch(points []Point) error {
 	par := r.p.Parallelism
 	if par <= 0 {
 		par = runtime.NumCPU()
 	}
 	sem := make(chan struct{}, par)
-	errc := make(chan error, len(points))
+	errs := make([]error, len(points))
 	var wg sync.WaitGroup
-	for _, pt := range points {
-		pt := pt
+	for i, pt := range points {
+		i, pt := i, pt
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
 			if _, err := r.Run(pt.Workload, pt.Design, pt.Predictor, pt.CacheMB); err != nil {
-				errc <- err
+				errs[i] = fmt.Errorf("prefetch %s: %w", pt, err)
 			}
 		}()
 	}
 	wg.Wait()
-	close(errc)
-	return <-errc
+	return errors.Join(errs...)
 }
 
 // Params returns the runner's parameters.
@@ -123,13 +133,13 @@ func (r *Runner) Run(workload string, d core.Design, pk core.PredictorKind, cach
 	if d == core.DesignNone {
 		cacheMB = 0 // baseline is independent of cache size
 	}
-	key := fmt.Sprintf("%s|%s|%s|%d", workload, d, pk, cacheMB)
-	r.mu.Lock()
-	if res, ok := r.cache[key]; ok {
-		r.mu.Unlock()
+	key := Point{Workload: workload, Design: d, Predictor: pk, CacheMB: cacheMB}
+	r.mu.RLock()
+	res, ok := r.cache[key]
+	r.mu.RUnlock()
+	if ok {
 		return res, nil
 	}
-	r.mu.Unlock()
 	cfg := core.DefaultConfig(workload)
 	cfg.Design = d
 	cfg.Predictor = pk
@@ -146,7 +156,7 @@ func (r *Runner) Run(workload string, d core.Design, pk core.PredictorKind, cach
 	if err != nil {
 		return core.Result{}, err
 	}
-	res, err := sys.Run()
+	res, err = sys.Run()
 	if err != nil {
 		return core.Result{}, err
 	}

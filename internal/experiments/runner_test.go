@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"alloysim/internal/core"
+)
+
+// microParams are even smaller than tinyParams: runner-behavior tests only
+// care about control flow, not simulated fidelity.
+func microParams() Params {
+	p := QuickParams()
+	p.InstructionsPerCore = 2_000
+	p.WarmupRefs = 200
+	p.Cores = 2
+	p.Parallelism = 4
+	return p
+}
+
+// TestPrefetchReportsEveryError mixes failing points among succeeding ones:
+// every failure must surface (not just the first), and the succeeding points
+// must still run to completion and populate the memo.
+func TestPrefetchReportsEveryError(t *testing.T) {
+	r := NewRunner(microParams())
+	pts := []Point{
+		{Workload: "mcf_r", Design: core.DesignAlloy, Predictor: core.PredDefault},
+		{Workload: "mcf_r", Design: core.Design("bogus-design"), Predictor: core.PredDefault},
+		{Workload: "mcf_r", Design: core.DesignNone, Predictor: core.PredDefault},
+		{Workload: "mcf_r", Design: core.Design("other-bad"), Predictor: core.PredDefault},
+	}
+	err := r.Prefetch(pts)
+	if err == nil {
+		t.Fatal("Prefetch with failing points returned nil error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"bogus-design", "other-bad"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention failing point %q", msg, want)
+		}
+	}
+	// Succeeding points drained despite the failures and are memoized:
+	// a replayed Run must be a pure memo hit (identical result).
+	a, err := r.Run("mcf_r", core.DesignAlloy, core.PredDefault, 0)
+	if err != nil {
+		t.Fatalf("successful point not runnable after failed Prefetch: %v", err)
+	}
+	b, _ := r.Run("mcf_r", core.DesignAlloy, core.PredDefault, 0)
+	if a.ExecCycles != b.ExecCycles {
+		t.Fatal("memo did not replay the prefetched result")
+	}
+}
+
+// TestPrefetchAllSucceed is the happy path: no error, memo warm.
+func TestPrefetchAllSucceed(t *testing.T) {
+	r := NewRunner(microParams())
+	pts := []Point{
+		{Workload: "mcf_r", Design: core.DesignNone, Predictor: core.PredDefault},
+		{Workload: "mcf_r", Design: core.DesignAlloy, Predictor: core.PredDefault},
+	}
+	if err := r.Prefetch(pts); err != nil {
+		t.Fatalf("Prefetch: %v", err)
+	}
+}
+
+// TestConcurrentMemoReaders hammers a warm memo point from many goroutines;
+// run under -race this verifies the RWMutex read path.
+func TestConcurrentMemoReaders(t *testing.T) {
+	r := NewRunner(microParams())
+	if _, err := r.Run("mcf_r", core.DesignAlloy, core.PredDefault, 0); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := r.Run("mcf_r", core.DesignAlloy, core.PredDefault, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPointString keeps the progress-output key format stable.
+func TestPointString(t *testing.T) {
+	pt := Point{Workload: "mcf_r", Design: core.DesignAlloy, Predictor: core.PredDefault, CacheMB: 256}
+	if got, want := pt.String(), "mcf_r|alloy||256"; got != want {
+		t.Fatalf("Point.String() = %q, want %q", got, want)
+	}
+}

@@ -73,10 +73,11 @@ func (p *LRU) Miss(int) {}
 // Victim implements Policy.
 func (p *LRU) Victim(set int) int {
 	base := set * p.assoc
-	best, bestStamp := 0, p.stamps[base]
-	for w := 1; w < p.assoc; w++ {
-		if s := p.stamps[base+w]; s < bestStamp {
-			best, bestStamp = w, s
+	row := p.stamps[base : base+p.assoc]
+	best, bestStamp := 0, row[0]
+	for w, s := range row[1:] {
+		if s < bestStamp {
+			best, bestStamp = w+1, s
 		}
 	}
 	return best
@@ -85,16 +86,17 @@ func (p *LRU) Victim(set int) int {
 // insertAtLRU marks the way as least recently used (BIP's default insert).
 func (p *LRU) insertAtLRU(set, way int) {
 	base := set * p.assoc
-	min := p.stamps[base]
-	for w := 1; w < p.assoc; w++ {
-		if s := p.stamps[base+w]; s < min {
+	row := p.stamps[base : base+p.assoc]
+	min := row[0]
+	for _, s := range row[1:] {
+		if s < min {
 			min = s
 		}
 	}
 	if min > 0 {
 		min--
 	}
-	p.stamps[set*p.assoc+way] = min
+	row[way] = min
 }
 
 // Random picks victims with a deterministic xorshift64* generator, so runs

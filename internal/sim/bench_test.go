@@ -1,0 +1,100 @@
+package sim
+
+// Engine micro-benchmarks: the numbers behind BENCH_sim.json's sim section
+// (see scripts/bench.sh). The handler benchmarks must report 0 allocs/op —
+// that is the engine's steady-state zero-allocation contract.
+
+import "testing"
+
+type benchHandler struct{ fired uint64 }
+
+func (h *benchHandler) Fire(now Cycle) { h.fired++ }
+
+// BenchmarkScheduleHandler is the canonical hot path: schedule a pre-bound
+// handler a few cycles out and fire it. Steady state must be 0 allocs/op.
+func BenchmarkScheduleHandler(b *testing.B) {
+	e := NewEngine()
+	h := &benchHandler{}
+	e.ScheduleHandler(1, h)
+	e.Run() // prime the wheel and pool before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleHandler(e.Now()+3, h)
+		e.Step()
+	}
+}
+
+// BenchmarkScheduleClosure measures the legacy closure path for contrast:
+// the node is still pooled, but each closure is a fresh allocation at the
+// call site.
+func BenchmarkScheduleClosure(b *testing.B) {
+	e := NewEngine()
+	var fired uint64
+	e.Schedule(1, func() { fired++ })
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+3, func() { fired++ })
+		e.Step()
+	}
+}
+
+// BenchmarkScheduleHandlerDeep keeps a deep pending queue (256 events
+// spread over the wheel) the way a loaded memory system does.
+func BenchmarkScheduleHandlerDeep(b *testing.B) {
+	e := NewEngine()
+	h := &benchHandler{}
+	const depth = 256
+	for i := 0; i < depth; i++ {
+		e.ScheduleHandler(e.Now()+Cycle(1+i*7%1000), h)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleHandler(e.Now()+Cycle(1+i%1000), h)
+		e.Step()
+	}
+	b.StopTimer()
+	e.Run()
+}
+
+// BenchmarkScheduleHandlerFar exercises the far-heap fallback and its
+// cascade into the wheel.
+func BenchmarkScheduleHandlerFar(b *testing.B) {
+	e := NewEngine()
+	h := &benchHandler{}
+	e.ScheduleHandler(WheelSpan+1, h)
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleHandler(e.Now()+WheelSpan+50, h)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineMixed interleaves near, far, and same-cycle scheduling at
+// a 4:1:1 ratio, resembling the simulator's real event mix.
+func BenchmarkEngineMixed(b *testing.B) {
+	e := NewEngine()
+	h := &benchHandler{}
+	e.ScheduleHandler(WheelSpan+1, h)
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch i % 6 {
+		case 0:
+			e.ScheduleHandler(e.Now()+WheelSpan+100, h)
+		case 1:
+			e.ScheduleHandler(e.Now(), h)
+		default:
+			e.ScheduleHandler(e.Now()+Cycle(1+i%200), h)
+		}
+		e.Step()
+	}
+	b.StopTimer()
+	e.Run()
+}

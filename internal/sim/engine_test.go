@@ -170,6 +170,169 @@ func TestQuickOrdering(t *testing.T) {
 	}
 }
 
+// TestWheelHeapBoundaryFIFO schedules events for the same far-future cycle
+// from both sides of the wheel horizon: two while the cycle is beyond the
+// horizon (far heap) and one after the clock advanced enough to place it in
+// the wheel directly. Firing order must follow scheduling order.
+func TestWheelHeapBoundaryFIFO(t *testing.T) {
+	e := NewEngine()
+	target := Cycle(WheelSpan + 100)
+	var got []int
+	e.Schedule(target, func() { got = append(got, 0) }) // heap: 0+span <= target
+	e.Schedule(200, func() {
+		// now = 200: target is inside [200, 200+span) → wheel.
+		e.Schedule(target, func() { got = append(got, 2) })
+	})
+	e.Schedule(target, func() { got = append(got, 1) }) // heap again
+	e.Run()
+	want := []int{0, 1, 2}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("boundary firing order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSameCycleFIFOAfterMigration checks FIFO order among many events at
+// one cycle that entered the engine through the far heap.
+func TestSameCycleFIFOAfterMigration(t *testing.T) {
+	e := NewEngine()
+	target := Cycle(3 * WheelSpan)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(target, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("migrated same-cycle events out of order at %d: %v", i, got[:i+1])
+		}
+	}
+	if len(got) != 100 {
+		t.Fatalf("ran %d events, want 100", len(got))
+	}
+}
+
+// TestRunUntilExactLimit: events exactly at the limit execute; the next
+// cycle does not, both within the wheel and beyond the horizon.
+func TestRunUntilExactLimit(t *testing.T) {
+	for _, limit := range []Cycle{10, WheelSpan + 10} {
+		e := NewEngine()
+		var atLimit, past bool
+		e.Schedule(limit, func() { atLimit = true })
+		e.Schedule(limit+1, func() { past = true })
+		if e.RunUntil(limit) {
+			t.Fatalf("limit %d: RunUntil claimed drain with an event pending", limit)
+		}
+		if !atLimit {
+			t.Fatalf("limit %d: event exactly at the limit did not run", limit)
+		}
+		if past {
+			t.Fatalf("limit %d: event past the limit ran", limit)
+		}
+		if e.Now() != limit {
+			t.Fatalf("limit %d: Now = %d", limit, e.Now())
+		}
+		if !e.RunUntil(limit + 1) {
+			t.Fatalf("limit %d: queue did not drain", limit)
+		}
+	}
+}
+
+// TestScheduleAtNowInsideEvent: an event scheduling at Now() runs later the
+// same cycle, after already-queued same-cycle events.
+func TestScheduleAtNowInsideEvent(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.Schedule(10, func() {
+		got = append(got, "a")
+		e.Schedule(e.Now(), func() { got = append(got, "c") })
+	})
+	e.Schedule(10, func() { got = append(got, "b") })
+	e.Run()
+	if want := "abc"; len(got) != 3 || got[0]+got[1]+got[2] != want {
+		t.Fatalf("same-cycle self-schedule order %v, want a b c", got)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", e.Now())
+	}
+}
+
+// TestDeterminismTwinEngines drives two engines with an identical
+// self-expanding schedule and requires identical firing traces and Steps.
+func TestDeterminismTwinEngines(t *testing.T) {
+	trace := func() ([]Cycle, uint64) {
+		e := NewEngine()
+		var fired []Cycle
+		state := uint64(0x2545F4914F6CDD1D)
+		next := func() uint64 { // xorshift64: deterministic, no rand dep
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return state
+		}
+		var spawn func(depth int) func()
+		spawn = func(depth int) func() {
+			return func() {
+				fired = append(fired, e.Now())
+				if depth >= 6 {
+					return
+				}
+				n := int(next() % 3)
+				for i := 0; i < n; i++ {
+					e.After(Cycle(next()%(2*WheelSpan)), spawn(depth+1))
+				}
+			}
+		}
+		for i := 0; i < 50; i++ {
+			e.Schedule(Cycle(next()%500), spawn(0))
+		}
+		e.Run()
+		return fired, e.Steps()
+	}
+	f1, s1 := trace()
+	f2, s2 := trace()
+	if s1 != s2 {
+		t.Fatalf("Steps diverged: %d vs %d", s1, s2)
+	}
+	if len(f1) != len(f2) {
+		t.Fatalf("firing counts diverged: %d vs %d", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("firing order diverged at event %d: %d vs %d", i, f1[i], f2[i])
+		}
+	}
+}
+
+type countHandler struct{ n int }
+
+func (h *countHandler) Fire(now Cycle) { h.n++ }
+
+// TestScheduleHandlerZeroAlloc proves the steady-state zero-allocation
+// contract: once the node pool is primed, scheduling and firing pre-bound
+// handlers allocates nothing, on both the wheel and the far-heap paths.
+func TestScheduleHandlerZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	h := &countHandler{}
+	// Prime: init the wheel, grow the node pool and the far heap.
+	for i := 0; i < 100; i++ {
+		e.ScheduleHandler(e.Now()+1, h)
+		e.ScheduleHandler(e.Now()+WheelSpan+50, h)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.ScheduleHandler(e.Now()+3, h)
+		e.ScheduleHandler(e.Now()+WheelSpan+50, h)
+		e.Step()
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state handler scheduling allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
 func TestPendingCount(t *testing.T) {
 	e := NewEngine()
 	e.Schedule(1, func() {})

@@ -1,0 +1,116 @@
+// Command benchjson merges `go test -bench -benchmem` output (stdin) into a
+// JSON ledger of benchmark runs, so perf PRs can commit before/after numbers
+// in a diffable form. Used by scripts/bench.sh.
+//
+//	go test -bench='Fig4|Fig9' -benchmem . | go run ./scripts/benchjson -label pr1 -out BENCH_sim.json
+//
+// The ledger maps label -> benchmark name -> metrics; existing labels other
+// than the one being written are preserved, so the file accumulates the perf
+// trajectory across PRs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Metrics holds one benchmark's parsed numbers. Custom b.ReportMetric
+// columns (e.g. instrs/op) land in Extra.
+type Metrics struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Ledger is the BENCH_sim.json document.
+type Ledger struct {
+	Note string                        `json:"note,omitempty"`
+	Runs map[string]map[string]Metrics `json:"runs"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func main() {
+	label := flag.String("label", "current", "ledger key to write this run under")
+	out := flag.String("out", "BENCH_sim.json", "ledger file to update")
+	note := flag.String("note", "", "replace the ledger's note field")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	ledger := Ledger{Runs: map[string]map[string]Metrics{}}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &ledger); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		if ledger.Runs == nil {
+			ledger.Runs = map[string]map[string]Metrics{}
+		}
+	}
+	if *note != "" {
+		ledger.Note = *note
+	}
+	ledger.Runs[*label] = results
+
+	// encoding/json sorts map keys, so the committed file diffs cleanly.
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks under %q to %s\n", len(results), *label, *out)
+}
+
+func parse(f *os.File) (map[string]Metrics, error) {
+	results := map[string]Metrics{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // tee: keep the raw output visible
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		met := Metrics{Iterations: iters, NsPerOp: ns}
+		rest := strings.Fields(m[4])
+		for i := 0; i+1 < len(rest); i += 2 {
+			val, unit := rest[i], rest[i+1]
+			switch unit {
+			case "B/op":
+				met.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				met.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			default:
+				if met.Extra == nil {
+					met.Extra = map[string]float64{}
+				}
+				met.Extra[unit], _ = strconv.ParseFloat(val, 64)
+			}
+		}
+		results[m[1]] = met
+	}
+	return results, sc.Err()
+}
