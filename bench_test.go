@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -36,7 +37,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchParams())
-		if err := e.Run(r, io.Discard); err != nil {
+		if err := e.Run(context.Background(), r, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}

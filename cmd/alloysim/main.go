@@ -8,12 +8,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"text/tabwriter"
 
 	"alloysim/internal/core"
@@ -74,6 +77,7 @@ func main() {
 		baseline  = flag.Bool("baseline", false, "also run the no-cache baseline and report speedup")
 		footprint = flag.Bool("footprint", false, "track unique lines touched")
 		traceDir  = flag.String("tracedir", "", "replay core%d.trace files from this directory instead of synthetic generators")
+		timeout   = flag.Duration("timeout", 0, "abort the simulation after this wall time (0 = none)")
 		confIn    = flag.String("config", "", "load the full configuration from a JSON file (other flags are ignored)")
 		confOut   = flag.String("saveconfig", "", "write the effective configuration to a JSON file and exit")
 		list      = flag.Bool("list", false, "list workloads and exit")
@@ -150,7 +154,17 @@ func main() {
 		cfg.Generators = gens
 	}
 
-	res, err := run(cfg)
+	// Ctrl-C / SIGTERM and -timeout cancel the simulation between engine
+	// quanta instead of killing the process mid-write.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := run(ctx, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "alloysim: %v\n", err)
 		os.Exit(1)
@@ -161,7 +175,7 @@ func main() {
 		bcfg := cfg
 		bcfg.Design = core.DesignNone
 		bcfg.Predictor = core.PredDefault
-		base, err := run(bcfg)
+		base, err := run(ctx, bcfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "alloysim: baseline: %v\n", err)
 			os.Exit(1)
@@ -171,12 +185,12 @@ func main() {
 	}
 }
 
-func run(cfg core.Config) (core.Result, error) {
+func run(ctx context.Context, cfg core.Config) (core.Result, error) {
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return core.Result{}, err
 	}
-	return sys.Run()
+	return sys.RunContext(ctx)
 }
 
 func report(r core.Result) {

@@ -6,16 +6,24 @@
 //	paperfigs -list              # list experiment IDs
 //	paperfigs -quick             # smaller traces, faster, noisier
 //	paperfigs -scale 32 -instr 3000000
+//	paperfigs -checkpoint sweep.ckpt   # resume an interrupted sweep
+//
+// Ctrl-C (or SIGTERM) cancels the sweep between simulation quanta; with
+// -checkpoint the completed points are already on disk, so re-running
+// with the same flags resumes instead of restarting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"alloysim/internal/experiments"
@@ -58,16 +66,19 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment ID to run (default: all)")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		quick    = flag.Bool("quick", false, "use reduced trace lengths")
-		scale    = flag.Uint64("scale", 0, "capacity scale divisor (default 64)")
-		instr    = flag.Uint64("instr", 0, "instructions per core (default 1.5M)")
-		seed     = flag.Uint64("seed", 0, "workload seed (default 1)")
-		progress = flag.Bool("v", false, "print each completed simulation")
-		outDir   = flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		exp        = flag.String("exp", "", "experiment ID to run (default: all)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		quick      = flag.Bool("quick", false, "use reduced trace lengths")
+		scale      = flag.Uint64("scale", 0, "capacity scale divisor (default 64)")
+		instr      = flag.Uint64("instr", 0, "instructions per core (default 1.5M)")
+		seed       = flag.Uint64("seed", 0, "workload seed (default 1)")
+		progress   = flag.Bool("v", false, "print each completed simulation")
+		outDir     = flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
+		checkpoint = flag.String("checkpoint", "", "memo checkpoint file: completed points are saved here and restored on the next run")
+		timeout    = flag.Duration("timeout", 0, "per-simulation timeout (0 = none), e.g. 90s")
+		retries    = flag.Int("retries", 1, "retry attempts for a failed simulation point")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -101,13 +112,45 @@ func main() {
 	if *progress {
 		params.Progress = os.Stderr
 	}
+	params.PointTimeout = *timeout
+	params.Retries = *retries
 	runner := experiments.NewRunner(params)
+
+	if *checkpoint != "" {
+		restored, err := runner.EnableCheckpoint(*checkpoint)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+			fmt.Fprintf(os.Stderr, "paperfigs: delete %s or rerun with the parameters it was written under\n", *checkpoint)
+			os.Exit(1)
+		}
+		if restored > 0 {
+			fmt.Printf("restored %d completed point(s) from %s\n", restored, *checkpoint)
+		}
+	}
+
+	// Ctrl-C / SIGTERM cancel the sweep cooperatively: in-flight
+	// simulations stop at the next engine quantum, and every point that
+	// already completed is in the checkpoint.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	// fail finishes the process after an error: the run summary and the
+	// resume hint still print, so an interrupted sweep tells the user how
+	// to pick it back up.
+	fail := func(code int) {
+		runner.WriteSummary(os.Stdout)
+		if *checkpoint != "" && ctx.Err() != nil {
+			fmt.Printf("interrupted: completed points are in %s; re-run with the same flags to resume\n", *checkpoint)
+		}
+		stopProf()
+		os.Exit(code)
 	}
 
 	run := func(e experiments.Experiment) {
@@ -120,19 +163,19 @@ func main() {
 			f, err = os.Create(filepath.Join(*outDir, e.ID+".txt"))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
-				os.Exit(1)
+				fail(1)
 			}
 			fmt.Fprintf(f, "%s: %s\n\n", e.ID, e.Title)
 			out = io.MultiWriter(os.Stdout, f)
 		}
-		if err := e.Run(runner, out); err != nil {
+		if err := e.Run(ctx, runner, out); err != nil {
 			fmt.Fprintf(os.Stderr, "paperfigs: %s failed: %v\n", e.ID, err)
-			os.Exit(1)
+			fail(1)
 		}
 		if f != nil {
 			if err := f.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
-				os.Exit(1)
+				fail(1)
 			}
 		}
 		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
@@ -145,9 +188,10 @@ func main() {
 			os.Exit(2)
 		}
 		run(e)
-		return
+	} else {
+		for _, e := range experiments.All() {
+			run(e)
+		}
 	}
-	for _, e := range experiments.All() {
-		run(e)
-	}
+	runner.WriteSummary(os.Stdout)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"alloysim/internal/cache"
@@ -143,15 +144,35 @@ func NewSystem(cfg Config) (*System, error) {
 	return s, nil
 }
 
+// cancelQuantum is how far the engine runs between cancellation checks in
+// RunContext, in cycles. It is comfortably larger than the longest
+// event-free stretch (the refresh interval) so the quantum loop never
+// spins, and small enough that cancellation lands within microseconds of
+// real time.
+const cancelQuantum sim.Cycle = 1 << 16
+
 // Run warms the caches, executes the measured phase, and returns results.
 // A System is single-use.
 func (s *System) Run() (Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// during warmup and between engine quanta of cancelQuantum cycles, so
+// Ctrl-C and per-run timeouts abort a simulation within one quantum
+// without perturbing the deterministic event order of uncancelled runs.
+func (s *System) RunContext(ctx context.Context) (Result, error) {
 	if s.ran {
 		return Result{}, fmt.Errorf("core: System.Run called twice")
 	}
 	s.ran = true
 
-	s.warm()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if err := s.warm(ctx); err != nil {
+		return Result{}, err
+	}
 
 	for i, g := range s.gens {
 		c, err := cpu.New(i, s.cfg.CPU, g, s.eng, s, s.cfg.InstructionsPerCore)
@@ -161,16 +182,28 @@ func (s *System) Run() (Result, error) {
 		s.cores = append(s.cores, c)
 		c.Start()
 	}
-	s.eng.Run()
+	limit := s.eng.Now() + cancelQuantum
+	for !s.eng.RunUntil(limit) {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		limit += cancelQuantum
+	}
 
 	return s.collect(), nil
 }
 
 // warm streams WarmupRefs references per core through the cache contents
 // without advancing time, then clears all timing state and statistics so
-// measurement starts from warm contents and cold clocks.
-func (s *System) warm() {
+// measurement starts from warm contents and cold clocks. It checks ctx
+// periodically so long warmups cancel as promptly as the measured phase.
+func (s *System) warm(ctx context.Context) error {
 	for n := uint64(0); n < s.cfg.WarmupRefs; n++ {
+		if n&0xfff == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		for gi, g := range s.gens {
 			ref := g.Next()
 			if s.l2 != nil {
@@ -209,6 +242,7 @@ func (s *System) warm() {
 	if s.org != nil {
 		s.org.ResetStats()
 	}
+	return nil
 }
 
 // Read implements cpu.MemPort: the demand-load path. It returns the cycle

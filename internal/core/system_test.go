@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"alloysim/internal/trace"
 )
@@ -116,6 +119,97 @@ func TestRunTwiceFails(t *testing.T) {
 	}
 	if _, err := s.Run(); err == nil {
 		t.Fatal("second Run did not fail")
+	}
+}
+
+// countdownCtx cancels itself after its Err method has been consulted a
+// fixed number of times: a deterministic way to land a cancellation at an
+// exact point in RunContext's polling sequence (the simulation itself is
+// single-threaded, so no synchronization is needed).
+type countdownCtx struct {
+	context.Context
+	calls, limit int
+}
+
+func (c *countdownCtx) Err() error {
+	c.calls++
+	if c.calls > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := NewSystem(smallConfig("sphinx_r", DesignNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context returned %v, want Canceled", err)
+	}
+}
+
+func TestRunContextExpiredDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	s, err := NewSystem(smallConfig("sphinx_r", DesignNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline returned %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextCancelsDuringWarmup and ...DuringMeasuredPhase pin the two
+// polling points: the warmup loop and the between-quanta engine check.
+func TestRunContextCancelsDuringWarmup(t *testing.T) {
+	cfg := smallConfig("mcf_r", DesignAlloy)
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Call 1 is the pre-run check; call 2 is the first warmup check.
+	ctx := &countdownCtx{Context: context.Background(), limit: 1}
+	if _, err := s.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("warmup cancellation returned %v, want Canceled", err)
+	}
+}
+
+func TestRunContextCancelsDuringMeasuredPhase(t *testing.T) {
+	cfg := smallConfig("mcf_r", DesignAlloy)
+	cfg.WarmupRefs = 0 // no warmup checks: the next poll is the quantum loop
+	cfg.InstructionsPerCore = 500_000
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &countdownCtx{Context: context.Background(), limit: 1}
+	if _, err := s.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("measured-phase cancellation returned %v, want Canceled", err)
+	}
+	if ctx.calls < 2 {
+		t.Fatalf("engine loop never polled the context (calls=%d)", ctx.calls)
+	}
+}
+
+// TestRunContextMatchesRun guards determinism: chunking the engine into
+// cancellation quanta must not change the event order.
+func TestRunContextMatchesRun(t *testing.T) {
+	a := runOne(t, smallConfig("omnetpp_r", DesignAlloy))
+	s, err := NewSystem(smallConfig("omnetpp_r", DesignAlloy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExecCycles != b.ExecCycles || a.DCHitRate != b.DCHitRate {
+		t.Fatalf("RunContext diverged from Run: exec %v vs %v, hit %v vs %v",
+			b.ExecCycles, a.ExecCycles, b.DCHitRate, a.DCHitRate)
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,7 +27,7 @@ func init() {
 	})
 }
 
-func runFig1(_ *Runner, w io.Writer) error {
+func runFig1(_ context.Context, _ *Runner, w io.Writer) error {
 	for _, scenario := range []struct {
 		label      string
 		hitLatency float64
@@ -55,7 +56,7 @@ func minF(a, b float64) float64 {
 	return b
 }
 
-func runFig3(_ *Runner, w io.Writer) error {
+func runFig3(_ context.Context, _ *Runner, w io.Writer) error {
 	tab := stats.NewTable("Design", "Hit/X", "Hit/Y", "Miss/X", "Miss/Y")
 	for _, b := range analytic.Fig3Breakdowns(analytic.PaperTiming()) {
 		tab.AddRow(b.Design, b.HitX, b.HitY, b.MissX, b.MissY)
@@ -66,7 +67,7 @@ func runFig3(_ *Runner, w io.Writer) error {
 	return nil
 }
 
-func runTable4(_ *Runner, w io.Writer) error {
+func runTable4(_ context.Context, _ *Runner, w io.Writer) error {
 	tab := stats.NewTable("Structure", "Raw Bandwidth", "Bytes per hit", "Effective Bandwidth")
 	for _, b := range analytic.Table4Bandwidth() {
 		tab.AddRow(b.Structure,

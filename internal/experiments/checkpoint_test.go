@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"alloysim/internal/core"
+)
+
+// TestCheckpointRoundTrip is the resume acceptance test: a second runner
+// pointed at the first runner's checkpoint re-simulates zero points and
+// replays exactly the same results.
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+
+	r1 := NewRunner(microParams())
+	if restored, err := r1.EnableCheckpoint(path); err != nil || restored != 0 {
+		t.Fatalf("fresh checkpoint: restored=%d err=%v", restored, err)
+	}
+	a1, err := r1.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := r1.Run(context.Background(), "mcf_r", core.DesignNone, core.PredDefault, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := r1.Metrics(); m.PointsRun != 2 {
+		t.Fatalf("first runner ran %d points, want 2", m.PointsRun)
+	}
+
+	// A brand-new runner with the same parameters resumes from disk.
+	r2 := NewRunner(microParams())
+	restored, err := r2.EnableCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 2 {
+		t.Fatalf("restored %d points, want 2", restored)
+	}
+	a2, err := r2.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r2.Run(context.Background(), "mcf_r", core.DesignNone, core.PredDefault, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r2.Metrics()
+	if m.PointsRun != 0 {
+		t.Fatalf("resumed runner re-simulated %d points, want 0", m.PointsRun)
+	}
+	if m.MemoHits != 2 || m.CheckpointHits != 2 {
+		t.Fatalf("memo hits %d / checkpoint hits %d, want 2 / 2", m.MemoHits, m.CheckpointHits)
+	}
+	// Results replay bit-for-bit: Result is all scalars, and float64
+	// round-trips exactly through JSON.
+	if a1 != a2 || b1 != b2 {
+		t.Fatalf("restored results differ:\n%+v\nvs\n%+v\n%+v\nvs\n%+v", a1, a2, b1, b2)
+	}
+}
+
+// TestCheckpointRejectsStaleParameters: a checkpoint written under
+// different result-affecting parameters must not be loaded.
+func TestCheckpointRejectsStaleParameters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+
+	r1 := NewRunner(microParams())
+	if _, err := r1.EnableCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	p := microParams()
+	p.Seed = p.Seed + 1 // different RNG stream → different results
+	r2 := NewRunner(p)
+	if _, err := r2.EnableCheckpoint(path); !errors.Is(err, ErrCheckpointStale) {
+		t.Fatalf("err = %v, want ErrCheckpointStale", err)
+	}
+
+	// Execution-steering parameters are NOT part of the fingerprint:
+	// resuming with different parallelism or retry budget must work.
+	p2 := microParams()
+	p2.Parallelism = 1
+	p2.Retries = 9
+	r3 := NewRunner(p2)
+	if restored, err := r3.EnableCheckpoint(path); err != nil || restored != 1 {
+		t.Fatalf("steering-only change rejected: restored=%d err=%v", restored, err)
+	}
+}
+
+// TestCheckpointRejectsCorruptedFile: garbage on disk is an error, not a
+// silent fresh start.
+func TestCheckpointRejectsCorruptedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(microParams())
+	if _, err := r.EnableCheckpoint(path); err == nil {
+		t.Fatal("corrupted checkpoint accepted")
+	}
+}
+
+// TestCheckpointSnapshotsAfterEveryPoint: the on-disk file is a valid,
+// complete checkpoint after each completed point — that is what makes
+// interruption at any moment recoverable.
+func TestCheckpointSnapshotsAfterEveryPoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	r := NewRunner(microParams())
+	r.simulate = func(ctx context.Context, pt Point) (core.Result, error) {
+		return core.Result{ExecCycles: float64(pt.CacheMB)}, nil
+	}
+	if _, err := r.EnableCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	readEntries := func() checkpointFile {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cf checkpointFile
+		if err := json.Unmarshal(data, &cf); err != nil {
+			t.Fatalf("snapshot is not valid JSON: %v", err)
+		}
+		return cf
+	}
+
+	for i := 1; i <= 3; i++ {
+		if _, err := r.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		cf := readEntries()
+		if cf.Version != checkpointVersion {
+			t.Fatalf("snapshot version %d, want %d", cf.Version, checkpointVersion)
+		}
+		if cf.Fingerprint != r.p.fingerprint() {
+			t.Fatal("snapshot fingerprint does not match runner parameters")
+		}
+		if len(cf.Entries) != i {
+			t.Fatalf("after point %d the snapshot holds %d entries", i, len(cf.Entries))
+		}
+	}
+
+	// Failed points are never checkpointed.
+	r.simulate = func(ctx context.Context, pt Point) (core.Result, error) {
+		return core.Result{}, errors.New("boom")
+	}
+	if _, err := r.Run(context.Background(), "mcf_r", core.DesignLH, core.PredDefault, 1); err == nil {
+		t.Fatal("failing point succeeded")
+	}
+	if cf := readEntries(); len(cf.Entries) != 3 {
+		t.Fatalf("failed point leaked into the checkpoint: %d entries", len(cf.Entries))
+	}
+}

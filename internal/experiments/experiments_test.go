@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -47,11 +48,11 @@ func TestAllSorted(t *testing.T) {
 
 func TestRunnerMemoization(t *testing.T) {
 	r := NewRunner(tinyParams())
-	a, err := r.Run("sphinx_r", core.DesignAlloy, core.PredDefault, 0)
+	a, err := r.Run(context.Background(), "sphinx_r", core.DesignAlloy, core.PredDefault, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.Run("sphinx_r", core.DesignAlloy, core.PredDefault, 0)
+	b, err := r.Run(context.Background(), "sphinx_r", core.DesignAlloy, core.PredDefault, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,10 +66,10 @@ func TestRunnerMemoization(t *testing.T) {
 
 func TestBaselineSharedAcrossSizes(t *testing.T) {
 	r := NewRunner(tinyParams())
-	if _, err := r.Speedup("sphinx_r", core.DesignAlloy, core.PredDefault, 64); err != nil {
+	if _, err := r.Speedup(context.Background(), "sphinx_r", core.DesignAlloy, core.PredDefault, 64); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Speedup("sphinx_r", core.DesignAlloy, core.PredDefault, 256); err != nil {
+	if _, err := r.Speedup(context.Background(), "sphinx_r", core.DesignAlloy, core.PredDefault, 256); err != nil {
 		t.Fatal(err)
 	}
 	// 2 design runs + 1 shared baseline.
@@ -91,7 +92,7 @@ func TestAnalyticExperimentsRender(t *testing.T) {
 	for _, id := range []string{"fig1", "fig3", "table4"} {
 		e, _ := ByID(id)
 		var buf bytes.Buffer
-		if err := e.Run(r, &buf); err != nil {
+		if err := e.Run(context.Background(), r, &buf); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 		if buf.Len() == 0 {
@@ -103,7 +104,7 @@ func TestAnalyticExperimentsRender(t *testing.T) {
 func TestFig3OutputContainsPaperNumbers(t *testing.T) {
 	e, _ := ByID("fig3")
 	var buf bytes.Buffer
-	if err := e.Run(NewRunner(tinyParams()), &buf); err != nil {
+	if err := e.Run(context.Background(), NewRunner(tinyParams()), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -117,7 +118,7 @@ func TestFig3OutputContainsPaperNumbers(t *testing.T) {
 func TestTable4OutputMatchesPaper(t *testing.T) {
 	e, _ := ByID("table4")
 	var buf bytes.Buffer
-	if err := e.Run(NewRunner(tinyParams()), &buf); err != nil {
+	if err := e.Run(context.Background(), NewRunner(tinyParams()), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -137,7 +138,7 @@ func TestSimExperimentSmoke(t *testing.T) {
 	r := NewRunner(tinyParams())
 	e, _ := ByID("table1")
 	var buf bytes.Buffer
-	if err := e.Run(r, &buf); err != nil {
+	if err := e.Run(context.Background(), r, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -155,7 +156,7 @@ func TestSec67Smoke(t *testing.T) {
 	r := NewRunner(tinyParams())
 	e, _ := ByID("sec67")
 	var buf bytes.Buffer
-	if err := e.Run(r, &buf); err != nil {
+	if err := e.Run(context.Background(), r, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Alloy (2-way)") {
@@ -165,7 +166,7 @@ func TestSec67Smoke(t *testing.T) {
 
 func TestGeoMeanSpeedup(t *testing.T) {
 	r := NewRunner(tinyParams())
-	per, gm, err := r.GeoMeanSpeedup([]string{"sphinx_r", "gcc_r"}, core.DesignAlloy, core.PredDefault, 0)
+	per, gm, err := r.GeoMeanSpeedup(context.Background(), []string{"sphinx_r", "gcc_r"}, core.DesignAlloy, core.PredDefault, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -25,15 +26,15 @@ func init() {
 	register(Experiment{ID: "abl-seeds", Title: "Ablation: seed robustness of the headline comparison", Run: runAblSeeds})
 }
 
-func runSec27(r *Runner, w io.Writer) error {
+func runSec27(ctx context.Context, r *Runner, w io.Writer) error {
 	tab := stats.NewTable("Workload", "Alloy (28 sets/row)", "LH-Cache (set-per-row)")
 	var alloyRates, lhRates []float64
 	for _, wl := range DetailedWorkloads() {
-		al, err := r.Run(wl, core.DesignAlloy, core.PredDefault, 0)
+		al, err := r.Run(ctx, wl, core.DesignAlloy, core.PredDefault, 0)
 		if err != nil {
 			return err
 		}
-		lh, err := r.Run(wl, core.DesignLH, core.PredDefault, 0)
+		lh, err := r.Run(ctx, wl, core.DesignLH, core.PredDefault, 0)
 		if err != nil {
 			return err
 		}
@@ -51,7 +52,7 @@ func runSec27(r *Runner, w io.Writer) error {
 	return err
 }
 
-func runSec56(r *Runner, w io.Writer) error {
+func runSec56(ctx context.Context, r *Runner, w io.Writer) error {
 	preds := []struct {
 		Label string
 		P     core.PredictorKind
@@ -66,7 +67,7 @@ func runSec56(r *Runner, w io.Writer) error {
 	for i, p := range preds {
 		var cur agg
 		for _, wl := range DetailedWorkloads() {
-			res, err := r.Run(wl, core.DesignAlloy, p.P, 0)
+			res, err := r.Run(ctx, wl, core.DesignAlloy, p.P, 0)
 			if err != nil {
 				return err
 			}
@@ -91,7 +92,7 @@ func runSec56(r *Runner, w io.Writer) error {
 
 // ablSpeedup runs Alloy and the baseline under a mutated config and
 // returns the gmean speedup across the detailed workloads.
-func ablSpeedup(p Params, mutate func(*core.Config)) (float64, error) {
+func ablSpeedup(ctx context.Context, p Params, mutate func(*core.Config)) (float64, error) {
 	var speedups []float64
 	for _, wl := range DetailedWorkloads() {
 		mk := func(d core.Design) (core.Result, error) {
@@ -108,7 +109,7 @@ func ablSpeedup(p Params, mutate func(*core.Config)) (float64, error) {
 			if err != nil {
 				return core.Result{}, err
 			}
-			return sys.Run()
+			return sys.RunContext(ctx)
 		}
 		base, err := mk(core.DesignNone)
 		if err != nil {
@@ -123,10 +124,10 @@ func ablSpeedup(p Params, mutate func(*core.Config)) (float64, error) {
 	return stats.GeoMean(speedups), nil
 }
 
-func runAblMLP(r *Runner, w io.Writer) error {
+func runAblMLP(ctx context.Context, r *Runner, w io.Writer) error {
 	tab := stats.NewTable("MLP window", "Alloy GMean Speedup")
 	for _, mlp := range []int{1, 2, 4, 8} {
-		gm, err := ablSpeedup(r.p, func(c *core.Config) { c.CPU.MLP = mlp })
+		gm, err := ablSpeedup(ctx, r.p, func(c *core.Config) { c.CPU.MLP = mlp })
 		if err != nil {
 			return err
 		}
@@ -137,10 +138,10 @@ func runAblMLP(r *Runner, w io.Writer) error {
 	return err
 }
 
-func runAblWbuf(r *Runner, w io.Writer) error {
+func runAblWbuf(ctx context.Context, r *Runner, w io.Writer) error {
 	tab := stats.NewTable("Write-buffer entries", "Alloy GMean Speedup")
 	for _, n := range []int{8, 32, 64, 256} {
-		gm, err := ablSpeedup(r.p, func(c *core.Config) { c.WriteBufferEntries = n })
+		gm, err := ablSpeedup(ctx, r.p, func(c *core.Config) { c.WriteBufferEntries = n })
 		if err != nil {
 			return err
 		}
@@ -151,10 +152,10 @@ func runAblWbuf(r *Runner, w io.Writer) error {
 	return err
 }
 
-func runAblChan(r *Runner, w io.Writer) error {
+func runAblChan(ctx context.Context, r *Runner, w io.Writer) error {
 	tab := stats.NewTable("Stacked channels", "Alloy GMean Speedup")
 	for _, ch := range []int{1, 2, 4, 8} {
-		gm, err := ablSpeedup(r.p, func(c *core.Config) { c.Stacked.Channels = ch })
+		gm, err := ablSpeedup(ctx, r.p, func(c *core.Config) { c.Stacked.Channels = ch })
 		if err != nil {
 			return err
 		}
@@ -165,10 +166,10 @@ func runAblChan(r *Runner, w io.Writer) error {
 	return err
 }
 
-func runAblL3Pol(r *Runner, w io.Writer) error {
+func runAblL3Pol(ctx context.Context, r *Runner, w io.Writer) error {
 	tab := stats.NewTable("L3 policy", "Alloy GMean Speedup")
 	for _, pol := range []string{"lru", "dip", "srrip", "random"} {
-		gm, err := ablSpeedup(r.p, func(c *core.Config) { c.L3Policy = pol })
+		gm, err := ablSpeedup(ctx, r.p, func(c *core.Config) { c.L3Policy = pol })
 		if err != nil {
 			return err
 		}
@@ -182,7 +183,7 @@ func runAblL3Pol(r *Runner, w io.Writer) error {
 // runAblSeeds replicates the headline Alloy-vs-LH comparison across five
 // workload seeds and reports mean and standard deviation of the gmean
 // speedups — the reproduction's statistical-robustness check.
-func runAblSeeds(r *Runner, w io.Writer) error {
+func runAblSeeds(ctx context.Context, r *Runner, w io.Writer) error {
 	designs := []struct {
 		Label string
 		D     core.Design
@@ -204,10 +205,10 @@ func runAblSeeds(r *Runner, w io.Writer) error {
 					Point{Workload: wl, Design: core.DesignNone},
 					Point{Workload: wl, Design: d.D})
 			}
-			if err := sub.Prefetch(pts); err != nil {
+			if err := sub.Prefetch(ctx, pts); err != nil {
 				return err
 			}
-			_, gm, err := sub.GeoMeanSpeedup(DetailedWorkloads(), d.D, core.PredDefault, 0)
+			_, gm, err := sub.GeoMeanSpeedup(ctx, DetailedWorkloads(), d.D, core.PredDefault, 0)
 			if err != nil {
 				return err
 			}
@@ -232,7 +233,7 @@ func init() {
 // measured number also contains fill and writeback traffic, so it sits
 // between the analytic hit cost and the worst case; the design ordering
 // must match regardless.
-func runTable4Sim(r *Runner, w io.Writer) error {
+func runTable4Sim(ctx context.Context, r *Runner, w io.Writer) error {
 	designs := []struct {
 		Label    string
 		D        core.Design
@@ -249,14 +250,14 @@ func runTable4Sim(r *Runner, w io.Writer) error {
 			points = append(points, Point{Workload: wl, Design: d.D})
 		}
 	}
-	if err := r.Prefetch(points); err != nil {
+	if err := r.Prefetch(ctx, points); err != nil {
 		return err
 	}
 	tab := stats.NewTable("Structure", "Analytic bytes/hit", "Measured bytes/access (incl. fills)")
 	for _, d := range designs {
 		var busBytes, accesses float64
 		for _, wl := range DetailedWorkloads() {
-			res, err := r.Run(wl, d.D, core.PredDefault, 0)
+			res, err := r.Run(ctx, wl, d.D, core.PredDefault, 0)
 			if err != nil {
 				return err
 			}

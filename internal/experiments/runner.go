@@ -5,12 +5,14 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"alloysim/internal/core"
 	"alloysim/internal/stats"
@@ -37,7 +39,16 @@ type Params struct {
 	// simulation is single-threaded and independent). Zero means
 	// runtime.NumCPU.
 	Parallelism int
+	// Retries is how many times a failed point is re-attempted before the
+	// failure is recorded as final. Configuration errors and parent-context
+	// cancellation are never retried; per-point timeouts are.
+	Retries int
+	// PointTimeout bounds the wall time of a single simulation attempt.
+	// Zero means no per-point limit.
+	PointTimeout time.Duration
 	// Progress, when non-nil, receives one line per completed simulation.
+	// The runner serializes all writes, so any writer is safe even under
+	// concurrent Prefetch.
 	Progress io.Writer
 }
 
@@ -63,28 +74,92 @@ func QuickParams() Params {
 	return p
 }
 
-// Runner executes simulations with memoization. Run is safe for
-// concurrent use; Prefetch exploits that to fill the memo in parallel.
-// The memo is keyed by the comparable Point struct and guarded by an
-// RWMutex, so concurrent readers replaying a warm memo never serialize
-// on a write lock.
+// Runner executes simulations with memoization, singleflight
+// deduplication, bounded retry, and optional disk checkpointing. Run is
+// safe for concurrent use; Prefetch exploits that to fill the memo in
+// parallel. Concurrent Run calls that reach the same Point collapse onto
+// one simulation: the first caller becomes the leader, later callers wait
+// on its in-flight record and share its outcome, so the shared DesignNone
+// baseline is never simulated twice however many Speedup calls race to it.
 type Runner struct {
-	p     Params
-	mu    sync.RWMutex
-	cache map[Point]core.Result
+	p Params
+
+	mu       sync.Mutex
+	cache    map[Point]core.Result
+	inflight map[Point]*inflightCall
+	failures map[Point]*FailureRecord
+	m        Metrics
+
+	// ckpt is non-nil once EnableCheckpoint succeeds; it owns the file
+	// path and serializes snapshot writes.
+	ckpt *checkpointWriter
+
+	// progressMu serializes Progress writes: Prefetch completes points on
+	// many goroutines, and io.Writer implementations (files, buffers) are
+	// not safe for concurrent use.
+	progressMu sync.Mutex
+
+	// simulate is the point-execution function; tests substitute it to
+	// count or fail executions without paying for real simulations.
+	simulate func(ctx context.Context, pt Point) (core.Result, error)
+}
+
+// inflightCall is the singleflight record for one running Point.
+type inflightCall struct {
+	done chan struct{} // closed when res/err are final
+	res  core.Result
+	err  error
+}
+
+// FailureRecord describes the final outcome of a point whose every
+// attempt failed.
+type FailureRecord struct {
+	Point    Point
+	Attempts int
+	Err      string
+}
+
+// Metrics summarizes runner activity. All durations are wall time spent
+// inside simulations (summed across concurrent runs, so it can exceed
+// elapsed time during Prefetch).
+type Metrics struct {
+	// PointsRun counts simulations actually executed (successful attempts).
+	PointsRun uint64
+	// MemoHits counts Run calls served from the in-memory memo.
+	MemoHits uint64
+	// CheckpointHits counts points restored from a checkpoint file.
+	CheckpointHits uint64
+	// FlightJoins counts Run calls that waited on a concurrent duplicate
+	// instead of simulating.
+	FlightJoins uint64
+	// Retries counts re-attempts after a transient failure.
+	Retries uint64
+	// Failures counts points whose every attempt failed.
+	Failures uint64
+	// SimWall is cumulative wall time inside successful simulations.
+	SimWall time.Duration
+	// MaxPointWall is the slowest successful simulation.
+	MaxPointWall time.Duration
 }
 
 // NewRunner creates a runner.
 func NewRunner(p Params) *Runner {
-	return &Runner{p: p, cache: make(map[Point]core.Result)}
+	r := &Runner{
+		p:        p,
+		cache:    make(map[Point]core.Result),
+		inflight: make(map[Point]*inflightCall),
+		failures: make(map[Point]*FailureRecord),
+	}
+	r.simulate = r.simulatePoint
+	return r
 }
 
 // Point identifies one simulation in the memo space.
 type Point struct {
-	Workload  string
-	Design    core.Design
-	Predictor core.PredictorKind
-	CacheMB   uint64
+	Workload  string             `json:"workload"`
+	Design    core.Design        `json:"design"`
+	Predictor core.PredictorKind `json:"predictor"`
+	CacheMB   uint64             `json:"cache_mb"`
 }
 
 // String renders the point in the stable "workload|design|pred|MB" form
@@ -93,26 +168,46 @@ func (pt Point) String() string {
 	return fmt.Sprintf("%s|%s|%s|%d", pt.Workload, pt.Design, pt.Predictor, pt.CacheMB)
 }
 
+// normalize applies the runner defaults that make distinct argument
+// spellings of the same simulation share one memo slot.
+func (r *Runner) normalize(pt Point) Point {
+	if pt.CacheMB == 0 {
+		pt.CacheMB = r.p.CacheMB
+	}
+	if pt.Design == core.DesignNone {
+		pt.CacheMB = 0 // baseline is independent of cache size
+	}
+	return pt
+}
+
 // Prefetch runs the given points concurrently (bounded by Parallelism)
 // so later sequential Run calls hit the memo. All points run to
 // completion even when some fail; every failure is reported, joined in
-// input order.
-func (r *Runner) Prefetch(points []Point) error {
+// input order. Cancelling ctx stops launching new points and cancels the
+// in-flight ones.
+func (r *Runner) Prefetch(ctx context.Context, points []Point) error {
 	par := r.p.Parallelism
 	if par <= 0 {
 		par = runtime.NumCPU()
 	}
 	sem := make(chan struct{}, par)
-	errs := make([]error, len(points))
+	errs := make([]error, len(points)+1)
 	var wg sync.WaitGroup
 	for i, pt := range points {
 		i, pt := i, pt
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			errs[len(points)] = fmt.Errorf("prefetch: %w", ctx.Err())
+		}
+		if errs[len(points)] != nil {
+			break
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if _, err := r.Run(pt.Workload, pt.Design, pt.Predictor, pt.CacheMB); err != nil {
+			if _, err := r.Run(ctx, pt.Workload, pt.Design, pt.Predictor, pt.CacheMB); err != nil {
 				errs[i] = fmt.Errorf("prefetch %s: %w", pt, err)
 			}
 		}()
@@ -125,57 +220,201 @@ func (r *Runner) Prefetch(points []Point) error {
 func (r *Runner) Params() Params { return r.p }
 
 // Run simulates one (workload, design, predictor, cacheMB) point. cacheMB
-// is paper-scale; zero uses the runner default. Results are memoized.
-func (r *Runner) Run(workload string, d core.Design, pk core.PredictorKind, cacheMB uint64) (core.Result, error) {
-	if cacheMB == 0 {
-		cacheMB = r.p.CacheMB
-	}
-	if d == core.DesignNone {
-		cacheMB = 0 // baseline is independent of cache size
-	}
-	key := Point{Workload: workload, Design: d, Predictor: pk, CacheMB: cacheMB}
-	r.mu.RLock()
-	res, ok := r.cache[key]
-	r.mu.RUnlock()
-	if ok {
+// is paper-scale; zero uses the runner default. Results are memoized;
+// concurrent calls for the same point share a single execution, and
+// waiters share the leader's outcome, errors included.
+func (r *Runner) Run(ctx context.Context, workload string, d core.Design, pk core.PredictorKind, cacheMB uint64) (core.Result, error) {
+	key := r.normalize(Point{Workload: workload, Design: d, Predictor: pk, CacheMB: cacheMB})
+
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.m.MemoHits++
+		r.mu.Unlock()
 		return res, nil
 	}
-	cfg := core.DefaultConfig(workload)
-	cfg.Design = d
-	cfg.Predictor = pk
+	if c, ok := r.inflight[key]; ok {
+		r.m.FlightJoins++
+		r.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, c.err
+		case <-ctx.Done():
+			return core.Result{}, ctx.Err()
+		}
+	}
+	c := &inflightCall{done: make(chan struct{})}
+	r.inflight[key] = c
+	r.mu.Unlock()
+
+	res, err := r.runPoint(ctx, key)
+
+	r.mu.Lock()
+	delete(r.inflight, key)
+	if err == nil {
+		r.cache[key] = res
+	}
+	r.mu.Unlock()
+	c.res, c.err = res, err
+	close(c.done)
+
+	if err == nil && r.ckpt != nil {
+		if cerr := r.saveCheckpoint(); cerr != nil {
+			r.progressf("  checkpoint write failed: %v\n", cerr)
+		}
+	}
+	return res, err
+}
+
+// runPoint executes one point with the configured retry budget. Only the
+// singleflight leader reaches here.
+func (r *Runner) runPoint(ctx context.Context, key Point) (core.Result, error) {
+	attempts := 1 + r.p.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			lastErr = err
+			r.recordFailure(key, attempt, err)
+			return core.Result{}, err
+		}
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if r.p.PointTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, r.p.PointTimeout)
+		}
+		start := time.Now()
+		res, err := r.simulate(actx, key)
+		elapsed := time.Since(start)
+		cancel()
+		if err == nil {
+			r.mu.Lock()
+			r.m.PointsRun++
+			r.m.SimWall += elapsed
+			if elapsed > r.m.MaxPointWall {
+				r.m.MaxPointWall = elapsed
+			}
+			delete(r.failures, key)
+			r.mu.Unlock()
+			r.progressf("  ran %s in %.2fs (attempt %d)\n", key, elapsed.Seconds(), attempt)
+			return res, nil
+		}
+		lastErr = err
+		r.recordFailure(key, attempt, err)
+		var perm permanentError
+		if errors.As(err, &perm) || ctx.Err() != nil {
+			break // configuration errors and parent cancellation never heal
+		}
+		if attempt < attempts {
+			r.mu.Lock()
+			r.m.Retries++
+			r.mu.Unlock()
+			r.progressf("  retrying %s after attempt %d: %v\n", key, attempt, err)
+		}
+	}
+	r.mu.Lock()
+	r.m.Failures++
+	r.mu.Unlock()
+	return core.Result{}, lastErr
+}
+
+// permanentError wraps failures that no retry can fix (configuration
+// errors detected before the simulation starts).
+type permanentError struct{ err error }
+
+func (p permanentError) Error() string { return p.err.Error() }
+func (p permanentError) Unwrap() error { return p.err }
+
+// simulatePoint is the real point execution: build a system from the
+// runner params and run it under ctx.
+func (r *Runner) simulatePoint(ctx context.Context, key Point) (core.Result, error) {
+	cfg := core.DefaultConfig(key.Workload)
+	cfg.Design = key.Design
+	cfg.Predictor = key.Predictor
 	cfg.Scale = r.p.Scale
 	cfg.InstructionsPerCore = r.p.InstructionsPerCore
 	cfg.WarmupRefs = r.p.WarmupRefs
 	cfg.Cores = r.p.Cores
 	cfg.GapScale = r.p.GapScale
 	cfg.Seed = r.p.Seed
-	if cacheMB > 0 {
-		cfg.DRAMCacheBytes = cacheMB << 20
+	if key.CacheMB > 0 {
+		cfg.DRAMCacheBytes = key.CacheMB << 20
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
-		return core.Result{}, err
+		return core.Result{}, permanentError{err}
 	}
-	res, err = sys.Run()
-	if err != nil {
-		return core.Result{}, err
-	}
+	return sys.RunContext(ctx)
+}
+
+// recordFailure updates the per-point failure record.
+func (r *Runner) recordFailure(key Point, attempt int, err error) {
 	r.mu.Lock()
-	r.cache[key] = res
-	r.mu.Unlock()
-	if r.p.Progress != nil {
-		fmt.Fprintf(r.p.Progress, "  ran %s\n", key)
+	defer r.mu.Unlock()
+	f := r.failures[key]
+	if f == nil {
+		f = &FailureRecord{Point: key}
+		r.failures[key] = f
 	}
-	return res, nil
+	f.Attempts = attempt
+	f.Err = err.Error()
+}
+
+// FailureRecords returns the final failure record of every point whose
+// attempts were exhausted, sorted by point key.
+func (r *Runner) FailureRecords() []FailureRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FailureRecord, 0, len(r.failures))
+	for _, f := range r.failures {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Point.String() < out[j].Point.String() })
+	return out
+}
+
+// Metrics returns a snapshot of the runner's counters.
+func (r *Runner) Metrics() Metrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m
+}
+
+// WriteSummary renders the structured run summary: how much work the
+// sweep did, how much the memo and checkpoint absorbed, and where the
+// wall time went. The first line is stable ("sweep summary: N simulations
+// run, ...") so scripts can assert on it.
+func (r *Runner) WriteSummary(w io.Writer) {
+	m := r.Metrics()
+	fmt.Fprintf(w, "sweep summary: %d simulations run, %d memo hits (%d restored from checkpoint), %d in-flight joins, %d retries, %d failures\n",
+		m.PointsRun, m.MemoHits, m.CheckpointHits, m.FlightJoins, m.Retries, m.Failures)
+	if m.PointsRun > 0 {
+		mean := m.SimWall / time.Duration(m.PointsRun)
+		fmt.Fprintf(w, "  sim wall: %.1fs total, %.2fs/point mean, %.2fs max\n",
+			m.SimWall.Seconds(), mean.Seconds(), m.MaxPointWall.Seconds())
+	}
+	for _, f := range r.FailureRecords() {
+		fmt.Fprintf(w, "  failed: %s after %d attempt(s): %s\n", f.Point, f.Attempts, f.Err)
+	}
+}
+
+// progressf writes one progress line, serialized across goroutines.
+func (r *Runner) progressf(format string, args ...interface{}) {
+	if r.p.Progress == nil {
+		return
+	}
+	r.progressMu.Lock()
+	fmt.Fprintf(r.p.Progress, format, args...)
+	r.progressMu.Unlock()
 }
 
 // Speedup returns the speedup of a design run over the workload baseline.
-func (r *Runner) Speedup(workload string, d core.Design, pk core.PredictorKind, cacheMB uint64) (float64, error) {
-	base, err := r.Run(workload, core.DesignNone, core.PredDefault, 0)
+func (r *Runner) Speedup(ctx context.Context, workload string, d core.Design, pk core.PredictorKind, cacheMB uint64) (float64, error) {
+	base, err := r.Run(ctx, workload, core.DesignNone, core.PredDefault, 0)
 	if err != nil {
 		return 0, err
 	}
-	res, err := r.Run(workload, d, pk, cacheMB)
+	res, err := r.Run(ctx, workload, d, pk, cacheMB)
 	if err != nil {
 		return 0, err
 	}
@@ -203,11 +442,11 @@ func OtherWorkloads() []string {
 
 // GeoMeanSpeedup runs a design over all workloads and returns per-workload
 // speedups plus their geometric mean.
-func (r *Runner) GeoMeanSpeedup(workloads []string, d core.Design, pk core.PredictorKind, cacheMB uint64) (map[string]float64, float64, error) {
+func (r *Runner) GeoMeanSpeedup(ctx context.Context, workloads []string, d core.Design, pk core.PredictorKind, cacheMB uint64) (map[string]float64, float64, error) {
 	per := make(map[string]float64, len(workloads))
 	var vals []float64
 	for _, w := range workloads {
-		s, err := r.Speedup(w, d, pk, cacheMB)
+		s, err := r.Speedup(ctx, w, d, pk, cacheMB)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -223,8 +462,10 @@ type Experiment struct {
 	ID string
 	// Title is the paper artifact being reproduced.
 	Title string
-	// Run executes the experiment and renders its table to w.
-	Run func(r *Runner, w io.Writer) error
+	// Run executes the experiment and renders its table to w. It must
+	// honor ctx: cancellation aborts the underlying simulations between
+	// engine quanta.
+	Run func(ctx context.Context, r *Runner, w io.Writer) error
 }
 
 var registry []Experiment

@@ -1,9 +1,14 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"alloysim/internal/core"
 )
@@ -30,7 +35,7 @@ func TestPrefetchReportsEveryError(t *testing.T) {
 		{Workload: "mcf_r", Design: core.DesignNone, Predictor: core.PredDefault},
 		{Workload: "mcf_r", Design: core.Design("other-bad"), Predictor: core.PredDefault},
 	}
-	err := r.Prefetch(pts)
+	err := r.Prefetch(context.Background(), pts)
 	if err == nil {
 		t.Fatal("Prefetch with failing points returned nil error")
 	}
@@ -42,11 +47,11 @@ func TestPrefetchReportsEveryError(t *testing.T) {
 	}
 	// Succeeding points drained despite the failures and are memoized:
 	// a replayed Run must be a pure memo hit (identical result).
-	a, err := r.Run("mcf_r", core.DesignAlloy, core.PredDefault, 0)
+	a, err := r.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, 0)
 	if err != nil {
 		t.Fatalf("successful point not runnable after failed Prefetch: %v", err)
 	}
-	b, _ := r.Run("mcf_r", core.DesignAlloy, core.PredDefault, 0)
+	b, _ := r.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, 0)
 	if a.ExecCycles != b.ExecCycles {
 		t.Fatal("memo did not replay the prefetched result")
 	}
@@ -59,7 +64,7 @@ func TestPrefetchAllSucceed(t *testing.T) {
 		{Workload: "mcf_r", Design: core.DesignNone, Predictor: core.PredDefault},
 		{Workload: "mcf_r", Design: core.DesignAlloy, Predictor: core.PredDefault},
 	}
-	if err := r.Prefetch(pts); err != nil {
+	if err := r.Prefetch(context.Background(), pts); err != nil {
 		t.Fatalf("Prefetch: %v", err)
 	}
 }
@@ -68,7 +73,7 @@ func TestPrefetchAllSucceed(t *testing.T) {
 // run under -race this verifies the RWMutex read path.
 func TestConcurrentMemoReaders(t *testing.T) {
 	r := NewRunner(microParams())
-	if _, err := r.Run("mcf_r", core.DesignAlloy, core.PredDefault, 0); err != nil {
+	if _, err := r.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, 0); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -77,7 +82,7 @@ func TestConcurrentMemoReaders(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 50; j++ {
-				if _, err := r.Run("mcf_r", core.DesignAlloy, core.PredDefault, 0); err != nil {
+				if _, err := r.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, 0); err != nil {
 					t.Error(err)
 					return
 				}
@@ -85,6 +90,291 @@ func TestConcurrentMemoReaders(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestRunSingleflightCollapsesDuplicates is the regression test for the
+// check-then-act race: many goroutines hammering one Point must execute
+// exactly one simulation, with everyone sharing its result. The fake
+// simulate blocks until every worker has entered Run, so the old racy
+// window (memo still empty, run already started) stays wide open.
+func TestRunSingleflightCollapsesDuplicates(t *testing.T) {
+	const workers = 32
+	r := NewRunner(microParams())
+	var sims atomic.Int32
+	release := make(chan struct{})
+	r.simulate = func(ctx context.Context, pt Point) (core.Result, error) {
+		sims.Add(1)
+		<-release
+		return core.Result{ExecCycles: 42}, nil
+	}
+
+	results := make([]core.Result, workers)
+	errs := make([]error, workers)
+	var entered, wg sync.WaitGroup
+	entered.Add(workers)
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			entered.Done()
+			results[i], errs[i] = r.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, 0)
+		}()
+	}
+	entered.Wait()
+	close(release)
+	wg.Wait()
+
+	if n := sims.Load(); n != 1 {
+		t.Fatalf("%d simulations executed for one point, want exactly 1", n)
+	}
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if results[i].ExecCycles != 42 {
+			t.Fatalf("worker %d got %v, want the shared result", i, results[i].ExecCycles)
+		}
+	}
+	m := r.Metrics()
+	if m.PointsRun != 1 {
+		t.Fatalf("metrics count %d points run, want 1", m.PointsRun)
+	}
+	if m.FlightJoins+m.MemoHits != workers-1 {
+		t.Fatalf("joins %d + memo hits %d != %d non-leader workers", m.FlightJoins, m.MemoHits, workers-1)
+	}
+}
+
+// TestSpeedupSharesBaselineUnderRace covers the original bug's second
+// face: concurrent Speedup calls for different designs share one
+// DesignNone baseline simulation.
+func TestSpeedupSharesBaselineUnderRace(t *testing.T) {
+	r := NewRunner(microParams())
+	var mu sync.Mutex
+	counts := make(map[Point]int)
+	r.simulate = func(ctx context.Context, pt Point) (core.Result, error) {
+		mu.Lock()
+		counts[pt]++
+		mu.Unlock()
+		time.Sleep(5 * time.Millisecond) // hold the point in flight
+		return core.Result{ExecCycles: float64(10 + len(pt.Design))}, nil
+	}
+	designs := []core.Design{core.DesignAlloy, core.DesignLH, core.DesignSRAMTag32, core.DesignIdealLO}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ { // 4 racing rounds over every design
+		for _, d := range designs {
+			d := d
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := r.Speedup(context.Background(), "mcf_r", d, core.PredDefault, 0); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	for pt, n := range counts {
+		if n != 1 {
+			t.Errorf("point %s simulated %d times, want 1", pt, n)
+		}
+	}
+	if len(counts) != len(designs)+1 { // designs + shared baseline
+		t.Fatalf("%d distinct points simulated, want %d", len(counts), len(designs)+1)
+	}
+}
+
+// TestProgressWritesSerialized drives Prefetch with a non-thread-safe
+// Progress writer; under -race this fails unless the runner serializes
+// the writes.
+func TestProgressWritesSerialized(t *testing.T) {
+	const points = 24
+	var buf bytes.Buffer
+	p := microParams()
+	p.Parallelism = 8
+	p.Progress = &buf
+	r := NewRunner(p)
+	r.simulate = func(ctx context.Context, pt Point) (core.Result, error) {
+		return core.Result{ExecCycles: 1}, nil
+	}
+	pts := make([]Point, points)
+	for i := range pts {
+		pts[i] = Point{Workload: "mcf_r", Design: core.DesignAlloy, CacheMB: uint64(i + 1)}
+	}
+	if err := r.Prefetch(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "ran "); got != points {
+		t.Fatalf("progress recorded %d completions, want %d:\n%s", got, points, buf.String())
+	}
+}
+
+// TestRunRetriesTransientFailures: a point that fails twice then succeeds
+// must succeed overall within the retry budget.
+func TestRunRetriesTransientFailures(t *testing.T) {
+	p := microParams()
+	p.Retries = 2
+	r := NewRunner(p)
+	var attempts atomic.Int32
+	r.simulate = func(ctx context.Context, pt Point) (core.Result, error) {
+		if attempts.Add(1) <= 2 {
+			return core.Result{}, errors.New("transient wobble")
+		}
+		return core.Result{ExecCycles: 7}, nil
+	}
+	res, err := r.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecCycles != 7 || attempts.Load() != 3 {
+		t.Fatalf("res=%v attempts=%d, want success on attempt 3", res.ExecCycles, attempts.Load())
+	}
+	m := r.Metrics()
+	if m.Retries != 2 || m.Failures != 0 || m.PointsRun != 1 {
+		t.Fatalf("metrics %+v, want 2 retries, 0 failures, 1 point run", m)
+	}
+	if len(r.FailureRecords()) != 0 {
+		t.Fatalf("success left failure records: %v", r.FailureRecords())
+	}
+}
+
+// TestRunDoesNotRetryConfigErrors: configuration errors are permanent and
+// must consume exactly one attempt regardless of the retry budget.
+func TestRunDoesNotRetryConfigErrors(t *testing.T) {
+	p := microParams()
+	p.Retries = 3
+	r := NewRunner(p)
+	_, err := r.Run(context.Background(), "mcf_r", core.Design("bogus-design"), core.PredDefault, 0)
+	if err == nil {
+		t.Fatal("bogus design accepted")
+	}
+	m := r.Metrics()
+	if m.Retries != 0 {
+		t.Fatalf("config error was retried %d times", m.Retries)
+	}
+	recs := r.FailureRecords()
+	if len(recs) != 1 || recs[0].Attempts != 1 {
+		t.Fatalf("failure records %v, want one record with 1 attempt", recs)
+	}
+}
+
+// TestRunExhaustedRetries: a persistently failing point surfaces its last
+// error and a failure record with the full attempt count.
+func TestRunExhaustedRetries(t *testing.T) {
+	p := microParams()
+	p.Retries = 1
+	r := NewRunner(p)
+	r.simulate = func(ctx context.Context, pt Point) (core.Result, error) {
+		return core.Result{}, errors.New("still broken")
+	}
+	_, err := r.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, 0)
+	if err == nil || !strings.Contains(err.Error(), "still broken") {
+		t.Fatalf("err = %v, want the last attempt's error", err)
+	}
+	m := r.Metrics()
+	if m.Retries != 1 || m.Failures != 1 {
+		t.Fatalf("metrics %+v, want 1 retry and 1 failure", m)
+	}
+	recs := r.FailureRecords()
+	if len(recs) != 1 || recs[0].Attempts != 2 {
+		t.Fatalf("failure records %v, want one record with 2 attempts", recs)
+	}
+}
+
+// TestPrefetchHonorsCancellation: cancelling mid-sweep stops launching
+// points and reports the cancellation.
+func TestPrefetchHonorsCancellation(t *testing.T) {
+	p := microParams()
+	p.Parallelism = 1
+	r := NewRunner(p)
+	ctx, cancel := context.WithCancel(context.Background())
+	r.simulate = func(ctx context.Context, pt Point) (core.Result, error) {
+		cancel() // first point pulls the plug on the rest
+		return core.Result{}, ctx.Err()
+	}
+	pts := make([]Point, 8)
+	for i := range pts {
+		pts[i] = Point{Workload: "mcf_r", Design: core.DesignAlloy, CacheMB: uint64(i + 1)}
+	}
+	err := r.Prefetch(ctx, pts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if m := r.Metrics(); m.PointsRun != 0 {
+		t.Fatalf("%d points completed after cancellation", m.PointsRun)
+	}
+}
+
+// TestRunPointTimeout: a per-point deadline cancels the simulation and is
+// retried up to the budget (timeouts are transient by policy).
+func TestRunPointTimeout(t *testing.T) {
+	p := microParams()
+	p.PointTimeout = time.Millisecond
+	p.Retries = 1
+	r := NewRunner(p)
+	var attempts atomic.Int32
+	r.simulate = func(ctx context.Context, pt Point) (core.Result, error) {
+		attempts.Add(1)
+		<-ctx.Done() // simulate a run that outlives its deadline
+		return core.Result{}, ctx.Err()
+	}
+	_, err := r.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if attempts.Load() != 2 {
+		t.Fatalf("timed-out point attempted %d times, want 2 (1 + 1 retry)", attempts.Load())
+	}
+}
+
+// TestWriteSummaryShape pins the machine-readable first line the CI
+// checkpoint smoke greps for.
+func TestWriteSummaryShape(t *testing.T) {
+	r := NewRunner(microParams())
+	r.simulate = func(ctx context.Context, pt Point) (core.Result, error) {
+		return core.Result{ExecCycles: 1}, nil
+	}
+	if _, err := r.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r.WriteSummary(&buf)
+	want := "sweep summary: 1 simulations run, 1 memo hits (0 restored from checkpoint), 0 in-flight joins, 0 retries, 0 failures\n"
+	if !strings.HasPrefix(buf.String(), want) {
+		t.Fatalf("summary = %q, want prefix %q", buf.String(), want)
+	}
+}
+
+// TestPrefetchAtQuickScale runs real simulations through Prefetch at
+// QuickParams scale with a shared Progress writer; the dedicated CI -race
+// step runs exactly this test to catch harness data races at a realistic
+// concurrency level. Skipped under -short.
+func TestPrefetchAtQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("QuickParams-scale prefetch in -short mode")
+	}
+	var progress bytes.Buffer
+	p := QuickParams()
+	p.Parallelism = 4
+	p.Progress = &progress
+	r := NewRunner(p)
+	pts := []Point{
+		{Workload: "mcf_r", Design: core.DesignNone},
+		{Workload: "mcf_r", Design: core.DesignAlloy},
+		{Workload: "mcf_r", Design: core.DesignLH},
+	}
+	if err := r.Prefetch(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	if m := r.Metrics(); m.PointsRun != uint64(len(pts)) {
+		t.Fatalf("ran %d points, want %d", m.PointsRun, len(pts))
+	}
+	if got := strings.Count(progress.String(), "ran "); got != len(pts) {
+		t.Fatalf("progress recorded %d lines, want %d", got, len(pts))
+	}
 }
 
 // TestPointString keeps the progress-output key format stable.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,7 +27,7 @@ func init() {
 
 // speedupTable renders per-workload speedups for a set of designs plus the
 // geometric mean row. All points are prefetched in parallel first.
-func speedupTable(r *Runner, w io.Writer, workloads []string, cols []struct {
+func speedupTable(ctx context.Context, r *Runner, w io.Writer, workloads []string, cols []struct {
 	Label string
 	D     core.Design
 	P     core.PredictorKind
@@ -38,7 +39,7 @@ func speedupTable(r *Runner, w io.Writer, workloads []string, cols []struct {
 			points = append(points, Point{Workload: wl, Design: c.D, Predictor: c.P, CacheMB: cacheMB})
 		}
 	}
-	if err := r.Prefetch(points); err != nil {
+	if err := r.Prefetch(ctx, points); err != nil {
 		return err
 	}
 	header := append([]string{"Workload"}, func() []string {
@@ -53,7 +54,7 @@ func speedupTable(r *Runner, w io.Writer, workloads []string, cols []struct {
 	for _, wl := range workloads {
 		row := []interface{}{wl}
 		for i, c := range cols {
-			s, err := r.Speedup(wl, c.D, c.P, cacheMB)
+			s, err := r.Speedup(ctx, wl, c.D, c.P, cacheMB)
 			if err != nil {
 				return err
 			}
@@ -71,7 +72,7 @@ func speedupTable(r *Runner, w io.Writer, workloads []string, cols []struct {
 	return err
 }
 
-func runFig4(r *Runner, w io.Writer) error {
+func runFig4(ctx context.Context, r *Runner, w io.Writer) error {
 	cols := []struct {
 		Label string
 		D     core.Design
@@ -82,14 +83,14 @@ func runFig4(r *Runner, w io.Writer) error {
 		{"IDEAL-LO", core.DesignIdealLO, core.PredDefault},
 	}
 	fmt.Fprintln(w, "Speedup over no-DRAM-cache baseline, 256MB cache:")
-	if err := speedupTable(r, w, DetailedWorkloads(), cols, 0); err != nil {
+	if err := speedupTable(ctx, r, w, DetailedWorkloads(), cols, 0); err != nil {
 		return err
 	}
 	// Echo the figure's bars: geometric-mean speedup per design.
 	var labels []string
 	var vals []float64
 	for _, c := range cols {
-		_, gm, err := r.GeoMeanSpeedup(DetailedWorkloads(), c.D, c.P, 0)
+		_, gm, err := r.GeoMeanSpeedup(ctx, DetailedWorkloads(), c.D, c.P, 0)
 		if err != nil {
 			return err
 		}
@@ -101,7 +102,7 @@ func runFig4(r *Runner, w io.Writer) error {
 	return nil
 }
 
-func runTable1(r *Runner, w io.Writer) error {
+func runTable1(ctx context.Context, r *Runner, w io.Writer) error {
 	rows := []struct {
 		Label string
 		D     core.Design
@@ -124,17 +125,17 @@ func runTable1(r *Runner, w io.Writer) error {
 			points = append(points, Point{Workload: wl, Design: cfg.D, Predictor: cfg.P})
 		}
 	}
-	if err := r.Prefetch(points); err != nil {
+	if err := r.Prefetch(ctx, points); err != nil {
 		return err
 	}
 	for _, cfg := range rows {
 		var speedups, hitRates, hitLats []float64
 		for _, wl := range workloads {
-			s, err := r.Speedup(wl, cfg.D, cfg.P, 0)
+			s, err := r.Speedup(ctx, wl, cfg.D, cfg.P, 0)
 			if err != nil {
 				return err
 			}
-			res, err := r.Run(wl, cfg.D, cfg.P, 0)
+			res, err := r.Run(ctx, wl, cfg.D, cfg.P, 0)
 			if err != nil {
 				return err
 			}
@@ -151,7 +152,7 @@ func runTable1(r *Runner, w io.Writer) error {
 	return err
 }
 
-func runTable3(r *Runner, w io.Writer) error {
+func runTable3(ctx context.Context, r *Runner, w io.Writer) error {
 	tab := stats.NewTable("Workload", "Perfect-L3 Speedup", "MPKI", "Footprint (scaled)")
 	for _, wl := range DetailedWorkloads() {
 		cfg := core.DefaultConfig(wl)
@@ -166,7 +167,7 @@ func runTable3(r *Runner, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		base, err := sys.Run()
+		base, err := sys.RunContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -186,7 +187,7 @@ func runTable3(r *Runner, w io.Writer) error {
 	return nil
 }
 
-func runFig6(r *Runner, w io.Writer) error {
+func runFig6(ctx context.Context, r *Runner, w io.Writer) error {
 	cols := []struct {
 		Label string
 		D     core.Design
@@ -198,10 +199,10 @@ func runFig6(r *Runner, w io.Writer) error {
 		{"SRAM-Tag", core.DesignSRAMTag32, core.PredDefault},
 	}
 	fmt.Fprintln(w, "Speedup over baseline, 256MB cache:")
-	return speedupTable(r, w, DetailedWorkloads(), cols, 0)
+	return speedupTable(ctx, r, w, DetailedWorkloads(), cols, 0)
 }
 
-func runFig8(r *Runner, w io.Writer) error {
+func runFig8(ctx context.Context, r *Runner, w io.Writer) error {
 	cols := []struct {
 		Label string
 		D     core.Design
@@ -214,10 +215,10 @@ func runFig8(r *Runner, w io.Writer) error {
 		{"Perfect", core.DesignAlloy, core.PredPerfect},
 	}
 	fmt.Fprintln(w, "Alloy Cache speedup over baseline for each memory access predictor:")
-	return speedupTable(r, w, DetailedWorkloads(), cols, 0)
+	return speedupTable(ctx, r, w, DetailedWorkloads(), cols, 0)
 }
 
-func runTable5(r *Runner, w io.Writer) error {
+func runTable5(ctx context.Context, r *Runner, w io.Writer) error {
 	preds := []struct {
 		Label string
 		P     core.PredictorKind
@@ -233,7 +234,7 @@ func runTable5(r *Runner, w io.Writer) error {
 		var a [4]float64
 		var overall []float64
 		for _, wl := range DetailedWorkloads() {
-			res, err := r.Run(wl, core.DesignAlloy, p.P, 0)
+			res, err := r.Run(ctx, wl, core.DesignAlloy, p.P, 0)
 			if err != nil {
 				return err
 			}
@@ -256,7 +257,7 @@ func runTable5(r *Runner, w io.Writer) error {
 	return err
 }
 
-func runFig9(r *Runner, w io.Writer) error {
+func runFig9(ctx context.Context, r *Runner, w io.Writer) error {
 	sizes := []uint64{64, 128, 256, 512, 1024}
 	{
 		var points []Point
@@ -268,7 +269,7 @@ func runFig9(r *Runner, w io.Writer) error {
 				}
 			}
 		}
-		if err := r.Prefetch(points); err != nil {
+		if err := r.Prefetch(ctx, points); err != nil {
 			return err
 		}
 	}
@@ -286,7 +287,7 @@ func runFig9(r *Runner, w io.Writer) error {
 	for _, mb := range sizes {
 		row := []interface{}{fmt.Sprintf("%dMB", mb)}
 		for _, d := range designs {
-			_, gm, err := r.GeoMeanSpeedup(DetailedWorkloads(), d.D, d.P, mb)
+			_, gm, err := r.GeoMeanSpeedup(ctx, DetailedWorkloads(), d.D, d.P, mb)
 			if err != nil {
 				return err
 			}
@@ -299,7 +300,7 @@ func runFig9(r *Runner, w io.Writer) error {
 	return err
 }
 
-func runFig10(r *Runner, w io.Writer) error {
+func runFig10(ctx context.Context, r *Runner, w io.Writer) error {
 	designs := []struct {
 		Label string
 		D     core.Design
@@ -315,7 +316,7 @@ func runFig10(r *Runner, w io.Writer) error {
 		row := []interface{}{wl}
 		var alloyP95 float64
 		for i, d := range designs {
-			res, err := r.Run(wl, d.D, d.P, 0)
+			res, err := r.Run(ctx, wl, d.D, d.P, 0)
 			if err != nil {
 				return err
 			}
@@ -339,7 +340,7 @@ func runFig10(r *Runner, w io.Writer) error {
 	return err
 }
 
-func runTable6(r *Runner, w io.Writer) error {
+func runTable6(ctx context.Context, r *Runner, w io.Writer) error {
 	var points []Point
 	for _, mb := range []uint64{256, 512, 1024} {
 		for _, wl := range DetailedWorkloads() {
@@ -347,18 +348,18 @@ func runTable6(r *Runner, w io.Writer) error {
 			points = append(points, Point{Workload: wl, Design: core.DesignAlloy, CacheMB: mb})
 		}
 	}
-	if err := r.Prefetch(points); err != nil {
+	if err := r.Prefetch(ctx, points); err != nil {
 		return err
 	}
 	tab := stats.NewTable("Cache Size", "LH-Cache (29-way)", "Alloy-Cache (1-way)", "Delta Hit Rate")
 	for _, mb := range []uint64{256, 512, 1024} {
 		var lhRates, alRates []float64
 		for _, wl := range DetailedWorkloads() {
-			lh, err := r.Run(wl, core.DesignLH, core.PredDefault, mb)
+			lh, err := r.Run(ctx, wl, core.DesignLH, core.PredDefault, mb)
 			if err != nil {
 				return err
 			}
-			al, err := r.Run(wl, core.DesignAlloy, core.PredDefault, mb)
+			al, err := r.Run(ctx, wl, core.DesignAlloy, core.PredDefault, mb)
 			if err != nil {
 				return err
 			}
@@ -375,7 +376,7 @@ func runTable6(r *Runner, w io.Writer) error {
 	return err
 }
 
-func runFig11(r *Runner, w io.Writer) error {
+func runFig11(ctx context.Context, r *Runner, w io.Writer) error {
 	cols := []struct {
 		Label string
 		D     core.Design
@@ -386,10 +387,10 @@ func runFig11(r *Runner, w io.Writer) error {
 		{"Alloy", core.DesignAlloy, core.PredDefault},
 	}
 	fmt.Fprintln(w, "Speedup over baseline for the remaining SPEC workloads (>=1% memory time):")
-	return speedupTable(r, w, OtherWorkloads(), cols, 0)
+	return speedupTable(ctx, r, w, OtherWorkloads(), cols, 0)
 }
 
-func runTable7(r *Runner, w io.Writer) error {
+func runTable7(ctx context.Context, r *Runner, w io.Writer) error {
 	rows := []struct {
 		Label string
 		D     core.Design
@@ -402,7 +403,7 @@ func runTable7(r *Runner, w io.Writer) error {
 	}
 	tab := stats.NewTable("Design", "Performance Improvement")
 	for _, cfg := range rows {
-		_, gm, err := r.GeoMeanSpeedup(DetailedWorkloads(), cfg.D, cfg.P, 0)
+		_, gm, err := r.GeoMeanSpeedup(ctx, DetailedWorkloads(), cfg.D, cfg.P, 0)
 		if err != nil {
 			return err
 		}
@@ -412,7 +413,7 @@ func runTable7(r *Runner, w io.Writer) error {
 	return err
 }
 
-func runSec65(r *Runner, w io.Writer) error {
+func runSec65(ctx context.Context, r *Runner, w io.Writer) error {
 	tab := stats.NewTable("Configuration", "GMean Speedup")
 	for _, cfg := range []struct {
 		Label string
@@ -421,7 +422,7 @@ func runSec65(r *Runner, w io.Writer) error {
 		{"Alloy (burst of 5, 80B)", core.DesignAlloy},
 		{"Alloy (burst of 8, 128B)", core.DesignAlloyBurst8},
 	} {
-		_, gm, err := r.GeoMeanSpeedup(DetailedWorkloads(), cfg.D, core.PredMAPI, 0)
+		_, gm, err := r.GeoMeanSpeedup(ctx, DetailedWorkloads(), cfg.D, core.PredMAPI, 0)
 		if err != nil {
 			return err
 		}
@@ -431,7 +432,7 @@ func runSec65(r *Runner, w io.Writer) error {
 	return err
 }
 
-func runSec67(r *Runner, w io.Writer) error {
+func runSec67(ctx context.Context, r *Runner, w io.Writer) error {
 	tab := stats.NewTable("Configuration", "GMean Speedup", "Hit-Rate", "Hit Latency")
 	for _, cfg := range []struct {
 		Label string
@@ -442,14 +443,14 @@ func runSec67(r *Runner, w io.Writer) error {
 	} {
 		var hitRates, hitLats []float64
 		for _, wl := range DetailedWorkloads() {
-			res, err := r.Run(wl, cfg.D, core.PredMAPI, 0)
+			res, err := r.Run(ctx, wl, cfg.D, core.PredMAPI, 0)
 			if err != nil {
 				return err
 			}
 			hitRates = append(hitRates, res.DCReadHitRate)
 			hitLats = append(hitLats, res.HitLatency)
 		}
-		_, gm, err := r.GeoMeanSpeedup(DetailedWorkloads(), cfg.D, core.PredMAPI, 0)
+		_, gm, err := r.GeoMeanSpeedup(ctx, DetailedWorkloads(), cfg.D, core.PredMAPI, 0)
 		if err != nil {
 			return err
 		}

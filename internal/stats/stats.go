@@ -55,8 +55,17 @@ type Histogram struct {
 	max     uint64
 }
 
-// NewHistogram creates a histogram with nBuckets buckets of the given width.
+// NewHistogram creates a histogram with nBuckets buckets of the given
+// width. Both must be positive: a zero width would divide by zero on the
+// first Observe, so invalid dimensions panic at the construction site
+// where the bug is, not at the first sample.
 func NewHistogram(width uint64, nBuckets int) *Histogram {
+	if width == 0 {
+		panic("stats: NewHistogram width must be positive")
+	}
+	if nBuckets <= 0 {
+		panic(fmt.Sprintf("stats: NewHistogram nBuckets must be positive, got %d", nBuckets))
+	}
 	return &Histogram{width: width, buckets: make([]uint64, nBuckets)}
 }
 

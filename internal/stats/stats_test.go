@@ -52,6 +52,32 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+// TestHistogramRejectsInvalidDimensions is the regression test for the
+// width==0 construction bug: the first Observe would divide by zero, so
+// the constructor must refuse invalid dimensions up front.
+func TestHistogramRejectsInvalidDimensions(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero width", func() { NewHistogram(0, 8) })
+	mustPanic("zero buckets", func() { NewHistogram(8, 0) })
+	mustPanic("negative buckets", func() { NewHistogram(8, -1) })
+
+	// Valid dimensions keep working, including the smallest ones.
+	h := NewHistogram(1, 1)
+	h.Observe(0)
+	h.Observe(7) // overflows into the catch-all, must not panic
+	if h.N() != 2 {
+		t.Fatalf("N = %d, want 2", h.N())
+	}
+}
+
 func TestHistogramPercentile(t *testing.T) {
 	h := NewHistogram(1, 1000)
 	for i := uint64(1); i <= 100; i++ {

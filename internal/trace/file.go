@@ -27,7 +27,11 @@ var fileMagic = [4]byte{'A', 'L', 'T', 'R'}
 // FileVersion is the current trace-file format version.
 const FileVersion = 1
 
-const recordBytes = 8 + 8 + 4 + 1
+const (
+	// headerBytes is magic + version + count.
+	headerBytes = 4 + 4 + 8
+	recordBytes = 8 + 8 + 4 + 1
+)
 
 // WriteFile writes a complete trace to w.
 func WriteFile(w io.Writer, refs []Ref) error {
@@ -105,6 +109,16 @@ func ReadFile(r io.Reader) ([]Ref, error) {
 			Gap:   binary.LittleEndian.Uint32(rec[16:]),
 			Write: flags&1 != 0,
 		})
+	}
+	// The header's count is authoritative: anything after the last record
+	// is corruption (a bad count, a concatenated file, a partial write)
+	// and silently dropping it would mask it.
+	if _, err := br.ReadByte(); err == nil {
+		extra, _ := io.Copy(io.Discard, br)
+		return nil, fmt.Errorf("trace: %d trailing byte(s) after the %d records declared by the header (expected EOF at offset %d)",
+			extra+1, count, headerBytes+count*recordBytes)
+	} else if err != io.EOF {
+		return nil, fmt.Errorf("trace: after record %d: %w", count, err)
 	}
 	return refs, nil
 }

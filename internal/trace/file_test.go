@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -75,6 +77,55 @@ func TestReadFileRejectsGarbage(t *testing.T) {
 		if _, err := ReadFile(bytes.NewReader(data)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+func TestReadFileRejectsTrailingGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, []Ref{{PC: 1}, {PC: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Len()
+	for name, junk := range map[string][]byte{
+		"one byte":       {0xEE},
+		"several bytes":  []byte("leftover"),
+		"another header": append([]byte{}, buf.Bytes()[:headerBytes]...),
+	} {
+		data := append(append([]byte{}, buf.Bytes()...), junk...)
+		_, err := ReadFile(bytes.NewReader(data))
+		if err == nil {
+			t.Errorf("%s: trailing data accepted", name)
+			continue
+		}
+		// The error must position the corruption for the user: expected
+		// EOF offset and the trailing byte count.
+		msg := err.Error()
+		for _, want := range []string{
+			fmt.Sprintf("offset %d", clean),
+			fmt.Sprintf("%d trailing byte(s)", len(junk)),
+		} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("%s: error %q missing %q", name, msg, want)
+			}
+		}
+	}
+}
+
+func TestReadFileTruncatedVsTrailing(t *testing.T) {
+	// The two corruption modes must stay distinguishable: truncation is
+	// reported against the record that could not be read, trailing data
+	// against the expected EOF position.
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, []Ref{{PC: 1}, {PC: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFile(bytes.NewReader(trunc)); err == nil || !strings.Contains(err.Error(), "record 1") {
+		t.Errorf("truncation error did not name the partial record: %v", err)
+	}
+	trail := append(append([]byte{}, buf.Bytes()...), 0)
+	if _, err := ReadFile(bytes.NewReader(trail)); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing-data error did not say trailing: %v", err)
 	}
 }
 

@@ -14,6 +14,16 @@ func FuzzReadFile(f *testing.F) {
 	f.Add(seed.Bytes())
 	f.Add([]byte("ALTR"))
 	f.Add([]byte{})
+	// Truncated-vs-trailing seeds: a record cut short mid-stream, a valid
+	// file with junk after the last record, and a valid empty file — the
+	// parser must tell these apart (truncation names the partial record,
+	// trailing data the expected EOF offset) and reject the first two.
+	f.Add(seed.Bytes()[:len(seed.Bytes())-3])
+	f.Add(append(append([]byte{}, seed.Bytes()...), 0xEE, 0xFF))
+	var empty bytes.Buffer
+	_ = WriteFile(&empty, nil)
+	f.Add(empty.Bytes())
+	f.Add(append(append([]byte{}, empty.Bytes()...), 'A'))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		refs, err := ReadFile(bytes.NewReader(data))
 		if err != nil {
