@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"alloysim/internal/invariants"
 	"alloysim/internal/memaddr"
 	"alloysim/internal/policy"
 )
@@ -140,6 +141,8 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // SetOf returns the set index for a line. Power-of-two set counts take a
 // mask instead of the hardware divide; the Alloy Cache's 28-line rows fall
 // back to the general residue.
+//
+//alloyvet:hotpath
 func (c *Cache) SetOf(line memaddr.Line) int {
 	if c.setMask != 0 {
 		return int(uint64(line) & c.setMask)
@@ -148,6 +151,8 @@ func (c *Cache) SetOf(line memaddr.Line) int {
 }
 
 // findWay returns the way holding line in set, or -1.
+//
+//alloyvet:hotpath
 func (c *Cache) findWay(set int, line memaddr.Line) int {
 	base := set * c.cfg.Assoc
 	for m := c.valid[set]; m != 0; m &= m - 1 {
@@ -170,6 +175,8 @@ func (c *Cache) Contains(line memaddr.Line) bool {
 // miss the line is filled immediately (contents-wise) and the displaced
 // line, if any, is returned. Timing layers sequence the actual fill and
 // writeback traffic around this bookkeeping.
+//
+//alloyvet:hotpath
 func (c *Cache) Access(line memaddr.Line, write bool) (hit bool, ev Eviction) {
 	set := c.SetOf(line)
 	if w := c.findWay(set, line); w >= 0 {
@@ -193,6 +200,8 @@ func (c *Cache) Access(line memaddr.Line, write bool) (hit bool, ev Eviction) {
 // Probe performs a non-allocating lookup, updating hit/miss statistics and
 // recency on hit but never filling. Useful for modeling tag checks whose
 // fills are decided elsewhere.
+//
+//alloyvet:hotpath
 func (c *Cache) Probe(line memaddr.Line, write bool) bool {
 	set := c.SetOf(line)
 	if w := c.findWay(set, line); w >= 0 {
@@ -225,6 +234,7 @@ func (c *Cache) Fill(line memaddr.Line, dirty bool) Eviction {
 	return c.fill(set, line, dirty)
 }
 
+//alloyvet:hotpath
 func (c *Cache) fill(set int, line memaddr.Line, dirty bool) Eviction {
 	base := set * c.cfg.Assoc
 	var ev Eviction
@@ -234,6 +244,11 @@ func (c *Cache) fill(set int, line memaddr.Line, dirty bool) Eviction {
 		way = bits.TrailingZeros64(free)
 	} else {
 		way = c.pol.Victim(set)
+		if invariants.Enabled && (way < 0 || way >= c.cfg.Assoc) {
+			// An out-of-range victim indexes into the neighboring set's
+			// tags — silent cross-set corruption, not a bounds panic.
+			invariants.Failf("cache: policy victim way %d outside [0,%d) for set %d", way, c.cfg.Assoc, set)
+		}
 		wasDirty := c.dirty[set]&(1<<uint(way)) != 0
 		ev = Eviction{Line: c.lines[base+way], Dirty: wasDirty, Valid: true}
 		c.stats.Evictions++
@@ -249,7 +264,23 @@ func (c *Cache) fill(set int, line memaddr.Line, dirty bool) Eviction {
 		c.dirty[set] &^= 1 << uint(way)
 	}
 	c.pol.Insert(set, way)
+	if invariants.Enabled {
+		c.checkSet(set)
+	}
 	return ev
+}
+
+// checkSet asserts the set's occupancy bitmasks are consistent: a dirty
+// bit implies a valid bit, and no bit exceeds the associativity. Only
+// meaningful under -tags invariants; a dirty-without-valid bit turns into
+// a phantom writeback the next time the way is reused.
+func (c *Cache) checkSet(set int) {
+	if orphan := c.dirty[set] &^ c.valid[set]; orphan != 0 {
+		invariants.Failf("cache: set %d has dirty bits %#x without valid bits (valid %#x)", set, orphan, c.valid[set])
+	}
+	if over := c.valid[set] &^ c.full; over != 0 {
+		invariants.Failf("cache: set %d valid mask %#x exceeds %d ways", set, c.valid[set], c.cfg.Assoc)
+	}
 }
 
 // Invalidate removes a line if present and returns whether it was dirty.
@@ -264,6 +295,9 @@ func (c *Cache) Invalidate(line memaddr.Line) (present, dirty bool) {
 	c.valid[set] &^= bit
 	c.dirty[set] &^= bit
 	c.lines[set*c.cfg.Assoc+w] = 0
+	if invariants.Enabled {
+		c.checkSet(set)
+	}
 	return true, dirty
 }
 

@@ -247,6 +247,8 @@ func (s *System) warm(ctx context.Context) error {
 
 // Read implements cpu.MemPort: the demand-load path. It returns the cycle
 // the data arrives.
+//
+//alloyvet:hotpath
 func (s *System) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line) sim.Cycle {
 	if s.footprint != nil {
 		s.footprint.Add(line)
@@ -284,6 +286,8 @@ func (s *System) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line) sim
 // Write implements cpu.MemPort: stores update the L3 in place on a hit and
 // are forwarded below on a miss (no-allocate). A full write buffer stalls
 // the core until a slot frees.
+//
+//alloyvet:hotpath
 func (s *System) Write(now sim.Cycle, core int, line memaddr.Line) sim.Cycle {
 	if s.footprint != nil {
 		s.footprint.Add(line)
@@ -304,6 +308,8 @@ func (s *System) Write(now sim.Cycle, core int, line memaddr.Line) sim.Cycle {
 
 // admitWrite reserves a write-buffer slot. It returns the cycle the write
 // may issue and the cycle the core may resume (zero when unconstrained).
+//
+//alloyvet:hotpath
 func (s *System) admitWrite(t sim.Cycle) (issueAt, stall sim.Cycle) {
 	// Retire completed writes.
 	live := s.writeBuf[:0]
@@ -327,7 +333,10 @@ func (s *System) admitWrite(t sim.Cycle) (issueAt, stall sim.Cycle) {
 }
 
 // noteWrite records a write's completion time in the buffer.
+//
+//alloyvet:hotpath
 func (s *System) noteWrite(done sim.Cycle) {
+	//alloyvet:allow(hotpath) growth is bounded by writeBufCap; the buffer reaches steady capacity during warmup
 	s.writeBuf = append(s.writeBuf, done)
 }
 
@@ -336,6 +345,8 @@ func (s *System) noteWrite(done sim.Cycle) {
 // between the Serial Access Model (wait for the tag check before
 // dispatching to memory) and the Parallel Access Model (probe memory
 // alongside the cache).
+//
+//alloyvet:hotpath
 func (s *System) readBelow(t0 sim.Cycle, core int, pc uint64, line memaddr.Line) sim.Cycle {
 	if s.org == nil {
 		r := s.mem.AccessLine(t0, line, false)
@@ -357,7 +368,7 @@ func (s *System) readBelow(t0 sim.Cycle, core int, pc uint64, line memaddr.Line)
 			s.wastedMemReads.Inc()
 		}
 		s.hitLat.Observe(float64(dataAt - t0))
-		s.hitLatHist.Observe(uint64(dataAt - t0))
+		s.hitLatHist.Observe((dataAt - t0).Count())
 	} else {
 		memStart := t1
 		if predHit {
@@ -374,7 +385,7 @@ func (s *System) readBelow(t0 sim.Cycle, core int, pc uint64, line memaddr.Line)
 			dataAt = res.TagKnown
 		}
 		s.missLat.Observe(float64(dataAt - t0))
-		s.missLatHist.Observe(uint64(dataAt - t0))
+		s.missLatHist.Observe((dataAt - t0).Count())
 		if res.Allocated {
 			// The fill happens when the memory response arrives; it must
 			// be scheduled through the engine, not reserved now — a

@@ -67,17 +67,21 @@ func TestScaledSizes(t *testing.T) {
 }
 
 func TestDefaultPredictorPairings(t *testing.T) {
-	cases := map[Design]PredictorKind{
-		DesignNone:         PredSAM,
-		DesignSRAMTag32:    PredSAM,
-		DesignLH:           PredMissMap,
-		DesignLH1:          PredMissMap,
-		DesignAlloy:        PredMAPI,
-		DesignAlloy2:       PredMAPI,
-		DesignIdealLO:      PredPerfect,
-		DesignIdealLONoTag: PredPerfect,
+	cases := []struct {
+		d    Design
+		want PredictorKind
+	}{
+		{DesignNone, PredSAM},
+		{DesignSRAMTag32, PredSAM},
+		{DesignLH, PredMissMap},
+		{DesignLH1, PredMissMap},
+		{DesignAlloy, PredMAPI},
+		{DesignAlloy2, PredMAPI},
+		{DesignIdealLO, PredPerfect},
+		{DesignIdealLONoTag, PredPerfect},
 	}
-	for d, want := range cases {
+	for _, tc := range cases {
+		d, want := tc.d, tc.want
 		cfg := DefaultConfig("mcf_r")
 		cfg.Design = d
 		if got := cfg.resolvePredictor(); got != want {

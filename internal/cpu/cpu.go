@@ -134,6 +134,8 @@ func (c *Core) Reads() uint64 { return c.reads }
 func (c *Core) Writes() uint64 { return c.writes }
 
 // issue processes one trace reference; it runs as an engine event.
+//
+//alloyvet:hotpath
 func (c *Core) issue(now sim.Cycle) {
 	if c.retired >= c.budget {
 		c.issueDone = true
@@ -170,9 +172,12 @@ func (c *Core) issue(now sim.Cycle) {
 }
 
 // readComplete runs at a load's data-arrival cycle.
+//
+//alloyvet:hotpath
 func (c *Core) readComplete(now sim.Cycle) {
 	c.outstanding--
 	if c.outstanding < 0 {
+		//alloyvet:allow(hotpath) cold branch: an accounting bug aborts the run
 		panic(fmt.Sprintf("cpu: core %d outstanding went negative", c.id))
 	}
 	if c.stalled && c.outstanding < c.cfg.MLP {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"alloysim/internal/invariants"
 	"alloysim/internal/memaddr"
 	"alloysim/internal/sim"
 )
@@ -118,6 +119,52 @@ type bank struct {
 	lastUse Cycle  // last column command (for the idle-close timer)
 }
 
+// The three bank-state transitions below are the DRAM protocol's legal
+// moves. Under -tags invariants each asserts its precondition — the
+// state-machine legality rules a real device enforces electrically and a
+// timing model can only enforce by construction: an ACT may only target a
+// precharged (closed) bank, a CAS may only target the currently open row,
+// and a PRE may only close an open row after tRAS has elapsed.
+
+// activate opens row in the bank; ACT requires a precharged bank.
+//
+//alloyvet:hotpath
+func (b *bank) activate(row uint64, at Cycle) {
+	if invariants.Enabled && b.openRow != noRow {
+		invariants.Failf("dram: ACT row %d at cycle %d on bank with open row %d (precharge first)", row, at, b.openRow)
+	}
+	b.openRow = row
+	b.actAt = at
+}
+
+// cas validates a column command: the addressed row must be open.
+//
+//alloyvet:hotpath
+func (b *bank) cas(row uint64, at Cycle) {
+	if invariants.Enabled && b.openRow != row {
+		if b.openRow == noRow {
+			invariants.Failf("dram: CAS row %d at cycle %d on closed bank (activate first)", row, at)
+		}
+		invariants.Failf("dram: CAS row %d at cycle %d but bank has row %d open", row, at, b.openRow)
+	}
+}
+
+// precharge closes the bank's open row; PRE requires an open row and must
+// respect tRAS from the row's activation.
+//
+//alloyvet:hotpath
+func (b *bank) precharge(at, tRAS Cycle) {
+	if invariants.Enabled {
+		if b.openRow == noRow {
+			invariants.Failf("dram: PRE at cycle %d on already-closed bank", at)
+		}
+		if at < b.actAt+tRAS {
+			invariants.Failf("dram: PRE at cycle %d violates tRAS (row opened at %d, tRAS %d)", at, b.actAt, tRAS)
+		}
+	}
+	b.openRow = noRow
+}
+
 type channel struct {
 	busReady   Cycle
 	busBusy    Cycle // cumulative data-bus busy cycles
@@ -195,6 +242,8 @@ func New(cfg Config) (*DRAM, error) {
 
 // bankOf decodes a row index into its channel, per-channel bank, and flat
 // bank index.
+//
+//alloyvet:hotpath
 func (d *DRAM) bankOf(row uint64) (ch, bk, idx int) {
 	if d.geoPow2 {
 		ch = int(row & d.chMask)
@@ -245,6 +294,8 @@ func (d *DRAM) AccessLine(now Cycle, line memaddr.Line, write bool) Result {
 // backpressuring the write buffer without ever delaying reads. (Without
 // this, bursty store streams reserve banks far into the future and every
 // read queues behind them — the opposite of how controllers schedule.)
+//
+//alloyvet:hotpath
 func (d *DRAM) AccessRow(now Cycle, row uint64, burst Cycle, write bool) Result {
 	ch, bk, idx := d.bankOf(row)
 	b := &d.banks[idx]
@@ -283,7 +334,7 @@ func (d *DRAM) AccessRow(now Cycle, row uint64, burst Cycle, write bool) Result 
 			preDone = min
 		}
 		if preDone+d.cfg.TRP <= start {
-			b.openRow = noRow
+			b.precharge(preDone, d.cfg.TRAS)
 		}
 	}
 
@@ -294,6 +345,7 @@ func (d *DRAM) AccessRow(now Cycle, row uint64, burst Cycle, write bool) Result 
 	case b.openRow == row:
 		rowHit = true
 		d.stats.RowHits++
+		b.cas(row, start)
 		casDone = start + d.cfg.TCAS
 		// Back-to-back column accesses to an open row pipeline at the
 		// burst rate (tCCD/bus-limited), not the CAS latency: streams
@@ -302,9 +354,9 @@ func (d *DRAM) AccessRow(now Cycle, row uint64, burst Cycle, write bool) Result 
 	case b.openRow == noRow:
 		d.stats.RowMisses++
 		actStart := start
+		b.activate(row, actStart)
+		b.cas(row, actStart+d.cfg.TACT)
 		casDone = actStart + d.cfg.TACT + d.cfg.TCAS
-		b.actAt = actStart
-		b.openRow = row
 		bankNext = casDone
 	default:
 		d.stats.RowConflict++
@@ -312,10 +364,11 @@ func (d *DRAM) AccessRow(now Cycle, row uint64, burst Cycle, write bool) Result 
 		if min := b.actAt + d.cfg.TRAS; min > preStart {
 			preStart = min
 		}
+		b.precharge(preStart, d.cfg.TRAS)
 		actStart := preStart + d.cfg.TRP
+		b.activate(row, actStart)
+		b.cas(row, actStart+d.cfg.TACT)
 		casDone = actStart + d.cfg.TACT + d.cfg.TCAS
-		b.actAt = actStart
-		b.openRow = row
 		bankNext = casDone
 	}
 
@@ -341,11 +394,13 @@ func (d *DRAM) refreshAdjust(start Cycle, ch, bk int) Cycle {
 	if d.cfg.TREFI == 0 || d.cfg.TRFC == 0 {
 		return start
 	}
-	phase := Cycle(bk) * d.cfg.TREFI / Cycle(d.cfg.BanksPerChannel)
+	phase := sim.Ticks(bk) * d.cfg.TREFI / sim.Ticks(d.cfg.BanksPerChannel)
 	offset := (start + d.cfg.TREFI - phase%d.cfg.TREFI) % d.cfg.TREFI
 	if offset < d.cfg.TRFC {
 		b := &d.banks[ch*d.cfg.BanksPerChannel+bk]
-		b.openRow = noRow // refresh precharges the bank
+		// Refresh precharges the bank unconditionally (PRE-all is a NOP on
+		// closed banks, so this is not a b.precharge transition).
+		b.openRow = noRow
 		d.stats.RefreshStalls++
 		return start + (d.cfg.TRFC - offset)
 	}

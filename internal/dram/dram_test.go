@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"alloysim/internal/memaddr"
+	"alloysim/internal/sim"
 )
 
 func TestConfigValidate(t *testing.T) {
@@ -210,7 +211,7 @@ func TestQuickLatencyFloor(t *testing.T) {
 		var lastDonePerBank map[uint64]Cycle = map[uint64]Cycle{}
 		for i, rw := range rows {
 			if i < len(gaps) {
-				now += Cycle(gaps[i])
+				now += sim.Ticks(int(gaps[i]))
 			}
 			row := uint64(rw % 64)
 			r := d.AccessRow(now, row, cfg.BurstLine, false)

@@ -1,0 +1,28 @@
+//go:build !invariants
+
+package dram
+
+import (
+	"testing"
+
+	"alloysim/internal/invariants"
+)
+
+// TestIllegalTransitionsFreeWithoutTag proves the other half of the
+// invariants contract: without -tags invariants the Enabled constant is
+// false, the compiler deletes every guarded check, and the same illegal
+// command sequences that panic in invariants_on_test.go execute silently.
+func TestIllegalTransitionsFreeWithoutTag(t *testing.T) {
+	if invariants.Enabled {
+		t.Fatal("invariants.Enabled is true without the build tag")
+	}
+	b := &bank{openRow: noRow}
+	b.activate(1, 0)
+	b.activate(2, 0)     // ACT on an open row: unchecked
+	b.cas(7, 0)          // CAS on a row that is not open: unchecked
+	b.precharge(0, 1000) // PRE before tRAS elapsed: unchecked
+	b.precharge(0, 0)    // PRE on an already-closed bank: unchecked
+	if b.openRow != noRow {
+		t.Fatal("precharge did not close the bank")
+	}
+}

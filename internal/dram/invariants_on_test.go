@@ -1,0 +1,81 @@
+//go:build invariants
+
+package dram
+
+// Tests that the bank state machine's legality invariants fire under
+// -tags invariants. Each test seeds one illegal DRAM command transition
+// directly on a bank and asserts the resulting panic; the companion file
+// invariants_off_test.go proves the same transitions are unchecked (free)
+// in release builds.
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want invariant violation containing %q", substr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v, want message containing %q", r, substr)
+		}
+	}()
+	f()
+}
+
+func TestActOnOpenRowPanics(t *testing.T) {
+	b := &bank{openRow: noRow}
+	b.activate(3, 0)
+	mustPanic(t, "ACT row 4", func() { b.activate(4, 10) })
+}
+
+func TestCASOnClosedBankPanics(t *testing.T) {
+	b := &bank{openRow: noRow}
+	mustPanic(t, "on closed bank", func() { b.cas(0, 5) })
+}
+
+func TestCASWrongRowPanics(t *testing.T) {
+	b := &bank{openRow: noRow}
+	b.activate(1, 0)
+	mustPanic(t, "bank has row 1 open", func() { b.cas(2, 5) })
+}
+
+func TestPrechargeClosedBankPanics(t *testing.T) {
+	b := &bank{openRow: noRow}
+	mustPanic(t, "already-closed bank", func() { b.precharge(10, 0) })
+}
+
+func TestPrechargeBeforeTRASPanics(t *testing.T) {
+	b := &bank{openRow: noRow}
+	b.activate(0, 100)
+	mustPanic(t, "violates tRAS", func() { b.precharge(150, 72) })
+}
+
+func TestLegalCommandSequenceDoesNotPanic(t *testing.T) {
+	b := &bank{openRow: noRow}
+	b.activate(0, 0)
+	b.cas(0, 20)
+	b.precharge(100, 72)
+	b.activate(1, 120)
+}
+
+// TestDeviceTrafficStaysLegal drives the full device through hits, misses,
+// conflicts, and idle closes: every command the controller issues must
+// satisfy the bank state machine.
+func TestDeviceTrafficStaysLegal(t *testing.T) {
+	cfg := StackedConfig()
+	d := MustNew(cfg)
+	stride := uint64(cfg.Channels * cfg.BanksPerChannel)
+	now := Cycle(0)
+	for i := 0; i < 64; i++ {
+		r := d.AccessRow(now, uint64(i%3)*stride, cfg.BurstLine, i%5 == 0)
+		now = r.Done + Cycle(i%7)
+	}
+	// A long idle gap exercises the timer-driven precharge path.
+	d.AccessRow(now+1_000_000, stride, cfg.BurstLine, false)
+}

@@ -3,6 +3,8 @@ package dram
 import (
 	"testing"
 	"testing/quick"
+
+	"alloysim/internal/sim"
 )
 
 // Tests for the controller-policy aspects of the model: the read-priority
@@ -206,7 +208,7 @@ func TestQuickPerBankFCFS(t *testing.T) {
 		now := Cycle(0)
 		var lastDone Cycle
 		for i, g := range gaps {
-			now += Cycle(g)
+			now += sim.Ticks(int(g))
 			// Alternate rows on the same bank (bank 0 of channel 0).
 			row := uint64(cfg.Channels*cfg.BanksPerChannel) * uint64(i%3)
 			r := d.AccessRow(now, row, cfg.BurstLine, false)
@@ -234,7 +236,7 @@ func TestQuickArrivalMonotonicity(t *testing.T) {
 			r := d.AccessRow(10+extra, 128, cfg.BurstLine, false)
 			return r.Done
 		}
-		return mk(Cycle(delay)) >= mk(0)
+		return mk(sim.Ticks(int(delay))) >= mk(0)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

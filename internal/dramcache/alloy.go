@@ -5,7 +5,9 @@ import (
 
 	"alloysim/internal/cache"
 	"alloysim/internal/dram"
+	"alloysim/internal/invariants"
 	"alloysim/internal/memaddr"
+	"alloysim/internal/sim"
 )
 
 // TADBytes is the size of one Tag-and-Data unit: 64 B data + 8 B tag
@@ -72,7 +74,7 @@ func NewAlloy(capacityBytes uint64, stacked *dram.DRAM, opts ...AlloyOption) (*A
 	a := &Alloy{
 		assoc:      p.assoc,
 		setsPerRow: AlloyTADsPerRow / p.assoc,
-		burst:      p.burst * Cycle(p.assoc),
+		burst:      p.burst * sim.Ticks(p.assoc),
 	}
 	a.tags = tags
 	a.stacked = stacked
@@ -95,15 +97,36 @@ func (a *Alloy) CapacityBytes() uint64 {
 	return uint64(a.tags.Config().Lines()) * memaddr.LineSizeBytes
 }
 
+//alloyvet:hotpath
 func (a *Alloy) rowOf(set int) uint64 { return uint64(set / a.setsPerRow) }
+
+// checkTAD asserts tag/data co-residency: an Alloy set's tag and data live
+// in the same TAD, so every DRAM access for a line must target the row
+// that holds the line's set. The expected row is recomputed from the
+// paper's geometry (28 TADs per 2 KB row, §4.1) independently of rowOf so
+// a future refactor cannot silently break Access and Fill in the same way.
+func (a *Alloy) checkTAD(line memaddr.Line, set int, row uint64) {
+	if got := a.tags.SetOf(line); got != set {
+		invariants.Failf("dramcache: Alloy line %d accessed via set %d but maps to set %d", line, set, got)
+	}
+	want := uint64(set / (AlloyTADsPerRow / a.assoc))
+	if row != want {
+		invariants.Failf("dramcache: Alloy tag/data co-residency broken: set %d lives in row %d, accessed row %d", set, want, row)
+	}
+}
 
 // Access implements Organization: one DRAM access streams the TAD; the tag
 // arrives with the data, so the only serialization is the single-cycle tag
 // check. Consecutive sets share rows, so streaming access patterns produce
 // row-buffer hits (CAS + burst = 23 cycles instead of 41).
+//
+//alloyvet:hotpath
 func (a *Alloy) Access(now Cycle, line memaddr.Line, write bool) AccessResult {
 	set := a.tags.SetOf(line)
 	row := a.rowOf(set)
+	if invariants.Enabled {
+		a.checkTAD(line, set, row)
+	}
 
 	tad := a.stacked.AccessRow(now, row, a.burst, false)
 	var r AccessResult
@@ -136,7 +159,11 @@ func (a *Alloy) Access(now Cycle, line memaddr.Line, write bool) AccessResult {
 // No victim-selection read is needed — the victim was identified by the
 // demand access that streamed the TAD (the PAM path reads it regardless).
 func (a *Alloy) Fill(now Cycle, line memaddr.Line) FillResult {
-	row := a.rowOf(a.tags.SetOf(line))
+	set := a.tags.SetOf(line)
+	row := a.rowOf(set)
+	if invariants.Enabled {
+		a.checkTAD(line, set, row)
+	}
 	res := a.stacked.AccessRow(now, row, a.burst, true)
 	return FillResult{Done: res.Done}
 }

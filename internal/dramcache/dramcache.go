@@ -106,6 +106,8 @@ func (b *base) TagStats() cache.Stats   { return b.tags.Stats() }
 func (b *base) HitLatencyMean() float64 { return b.hitLat.Value() }
 
 // observe records the outcome of a demand access.
+//
+//alloyvet:hotpath
 func (b *base) observe(r AccessResult, start Cycle) {
 	b.accs.Inc()
 	if r.RowHit {

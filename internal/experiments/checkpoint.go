@@ -108,6 +108,7 @@ func (r *Runner) saveCheckpoint() error {
 	r.mu.Lock()
 	cw := r.ckpt
 	entries := make([]checkpointEntry, 0, len(r.cache))
+	//alloyvet:allow(determinism) collection order is irrelevant: sorted by point key below
 	for pt, res := range r.cache {
 		entries = append(entries, checkpointEntry{Point: pt, Result: res})
 	}

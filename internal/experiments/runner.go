@@ -283,9 +283,12 @@ func (r *Runner) runPoint(ctx context.Context, key Point) (core.Result, error) {
 		if r.p.PointTimeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, r.p.PointTimeout)
 		}
-		start := time.Now()
+		// Wall-clock timing of the host process, not simulated time: it
+		// feeds the operator-facing Metrics (SimWall, MaxPointWall) and
+		// never influences a simulation result.
+		start := time.Now() //alloyvet:allow(determinism)
 		res, err := r.simulate(actx, key)
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //alloyvet:allow(determinism)
 		cancel()
 		if err == nil {
 			r.mu.Lock()
@@ -366,6 +369,7 @@ func (r *Runner) FailureRecords() []FailureRecord {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]FailureRecord, 0, len(r.failures))
+	//alloyvet:allow(determinism) collection order is irrelevant: sorted by point key below
 	for _, f := range r.failures {
 		out = append(out, *f)
 	}

@@ -1,0 +1,8 @@
+//go:build !invariants
+
+package invariants
+
+// Enabled reports whether invariant checking is compiled in. Without the
+// `invariants` build tag every guarded check is dead code the compiler
+// deletes.
+const Enabled = false

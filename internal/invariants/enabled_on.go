@@ -1,0 +1,7 @@
+//go:build invariants
+
+package invariants
+
+// Enabled reports whether invariant checking is compiled in. This build
+// has the `invariants` tag: assertions are live.
+const Enabled = true

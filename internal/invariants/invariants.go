@@ -1,0 +1,26 @@
+// Package invariants provides build-tag-gated assertion support for the
+// simulator. Checks guarded by the Enabled constant compile to nothing in
+// default builds — the compiler removes `if invariants.Enabled { ... }`
+// blocks entirely, so hot paths pay zero cost — and become real panics
+// under `go test -tags invariants ./...` (run in CI).
+//
+// Usage:
+//
+//	if invariants.Enabled && b.openRow != noRow {
+//		invariants.Failf("dram: ACT on open row %d", b.openRow)
+//	}
+//
+// Keep the condition inside the Enabled guard: the guard is what lets the
+// compiler delete the check, and the hotpath analyzer (DESIGN.md §9)
+// recognizes the idiom and exempts the guarded block from its
+// no-allocation rules.
+package invariants
+
+import "fmt"
+
+// Failf panics with a formatted invariant-violation message. Call it only
+// under an Enabled guard so release builds carry neither the check nor the
+// formatting.
+func Failf(format string, args ...any) {
+	panic("invariant violation: " + fmt.Sprintf(format, args...))
+}

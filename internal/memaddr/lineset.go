@@ -38,6 +38,8 @@ func lineSetHash(page uint64) uint64 {
 }
 
 // Add inserts the line.
+//
+//alloyvet:hotpath
 func (s *LineSet) Add(l Line) {
 	page := uint64(l) >> PageShift
 	bit := uint64(1) << (uint64(l) & (1<<PageShift - 1))

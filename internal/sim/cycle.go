@@ -1,0 +1,21 @@
+package sim
+
+import "alloysim/internal/invariants"
+
+// Ticks converts a raw integer count into simulated cycles. It is the
+// blessed way to bring externally typed integers (loop indices, geometry
+// parameters, property-test inputs) into the Cycle unit system; the
+// cycleunits analyzer flags bare Cycle(x) conversions outside this
+// package. Under -tags invariants a negative count panics instead of
+// wrapping to a cycle ~2^64 in the future.
+func Ticks(n int) Cycle {
+	if invariants.Enabled && n < 0 {
+		invariants.Failf("sim: negative tick count %d", n)
+	}
+	return Cycle(n)
+}
+
+// Count returns the cycle value as a unitless uint64, for histogram
+// bucketing and serialization. Like Ticks, it exists so unit-dropping
+// conversions are deliberate and greppable rather than scattered casts.
+func (c Cycle) Count() uint64 { return uint64(c) }

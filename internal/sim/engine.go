@@ -15,6 +15,8 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+
+	"alloysim/internal/invariants"
 )
 
 // Cycle is a point in simulated time, measured in processor clock cycles.
@@ -96,12 +98,14 @@ func (e *Engine) lazyInit() {
 	}
 }
 
+//alloyvet:hotpath
 func (e *Engine) alloc() *node {
 	if n := e.free; n != nil {
 		e.free = n.next
 		return n
 	}
 	if len(e.arena) == 0 {
+		//alloyvet:allow(hotpath) amortized pool growth: one make per nodeBlock nodes
 		e.arena = make([]node, nodeBlock)
 	}
 	n := &e.arena[0]
@@ -109,6 +113,7 @@ func (e *Engine) alloc() *node {
 	return n
 }
 
+//alloyvet:hotpath
 func (e *Engine) release(n *node) {
 	n.fn, n.h = nil, nil // drop references so pooled nodes don't pin work
 	n.next = e.free
@@ -129,17 +134,23 @@ func (e *Engine) After(delay Cycle, work Event) {
 // ScheduleHandler enqueues a pre-bound handler at an absolute cycle. This
 // is the zero-allocation path: the handler is typically a pointer receiver
 // living in the model's own state, and the event node comes from the pool.
+//
+//alloyvet:hotpath
 func (e *Engine) ScheduleHandler(at Cycle, h Handler) {
 	e.schedule(at, nil, h)
 }
 
 // AfterHandler enqueues a pre-bound handler delay cycles from now.
+//
+//alloyvet:hotpath
 func (e *Engine) AfterHandler(delay Cycle, h Handler) {
 	e.schedule(e.now+delay, nil, h)
 }
 
+//alloyvet:hotpath
 func (e *Engine) schedule(at Cycle, fn Event, h Handler) {
 	if at < e.now {
+		//alloyvet:allow(hotpath) cold branch: a causality bug aborts the run
 		panic(fmt.Sprintf("sim: scheduling event at cycle %d before now %d", at, e.now))
 	}
 	e.lazyInit()
@@ -154,6 +165,7 @@ func (e *Engine) schedule(at Cycle, fn Event, h Handler) {
 	}
 }
 
+//alloyvet:hotpath
 func (e *Engine) wheelPush(n *node) {
 	n.next = nil
 	i := int(n.at) & wheelMask
@@ -166,6 +178,23 @@ func (e *Engine) wheelPush(n *node) {
 		b.tail.next = n
 	}
 	b.tail = n
+	if invariants.Enabled {
+		e.checkWheelSlot(i)
+	}
+}
+
+// checkWheelSlot asserts that the occupancy bitmap and summary word agree
+// with the bucket's actual contents. Only meaningful under -tags
+// invariants; a desynchronized bitmap makes nextOccupied skip or invent
+// events silently.
+func (e *Engine) checkWheelSlot(i int) {
+	occupied := e.occ[i>>6]&(1<<uint(i&63)) != 0
+	if occupied != (e.wheel[i].head != nil) {
+		invariants.Failf("sim: wheel slot %d occupancy bit %v but head %v", i, occupied, e.wheel[i].head != nil)
+	}
+	if occupied && e.summary&(1<<uint(i>>6)) == 0 {
+		invariants.Failf("sim: wheel slot %d occupied but summary bit %d clear", i, i>>6)
+	}
 }
 
 // migrate cascades far-future events whose cycle has entered the wheel
@@ -183,6 +212,8 @@ func (e *Engine) migrate() {
 // cycle, or -1 when the wheel is empty. Buckets are scanned in circular
 // order starting at now's slot, which visits cycles in increasing order
 // because the wheel spans exactly [now, now+WheelSpan).
+//
+//alloyvet:hotpath
 func (e *Engine) nextOccupied() int {
 	if e.summary == 0 {
 		return -1
@@ -213,6 +244,8 @@ func (e *Engine) nextOccupied() int {
 
 // popNext removes and returns the earliest pending node, advancing the
 // clock when the wheel must jump forward to the far heap.
+//
+//alloyvet:hotpath
 func (e *Engine) popNext() *node {
 	if e.pending == 0 {
 		return nil
@@ -224,6 +257,9 @@ func (e *Engine) popNext() *node {
 		e.now = e.far[0].at
 		e.migrate()
 		i = e.nextOccupied()
+	}
+	if invariants.Enabled {
+		e.checkWheelSlot(i)
 	}
 	b := &e.wheel[i]
 	n := b.head
@@ -252,10 +288,15 @@ func (e *Engine) peekAt() (Cycle, bool) {
 
 // Step executes the next pending event, advancing the clock to its cycle.
 // It reports whether an event was executed.
+//
+//alloyvet:hotpath
 func (e *Engine) Step() bool {
 	n := e.popNext()
 	if n == nil {
 		return false
+	}
+	if invariants.Enabled && n.at < e.now {
+		invariants.Failf("sim: event time %d precedes clock %d; per-Step monotonicity broken", n.at, e.now)
 	}
 	e.now = n.at
 	e.migrate() // the advance may pull far events into the horizon

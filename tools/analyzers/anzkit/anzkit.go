@@ -1,0 +1,224 @@
+// Package anzkit is a minimal, dependency-free analysis framework in the
+// shape of golang.org/x/tools/go/analysis. The container this repo builds
+// in has no module proxy access, so instead of importing x/tools the kit
+// re-implements the three pieces alloyvet needs: an Analyzer/Pass pair, a
+// package loader built on `go list -export` plus go/types, and the
+// annotation grammar shared by every analyzer:
+//
+//	//alloyvet:hotpath            marks a function whose body must not allocate
+//	//alloyvet:allow(name,...)    suppresses the named analyzers' diagnostics
+//
+// An allow comment suppresses diagnostics on its own line, on the line
+// below (when it stands alone), or in the whole function (when it appears
+// in the function's doc comment).
+package anzkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a Pass and reports findings
+// through pass.Report; returning an error aborts the whole run (reserved
+// for internal failures, not findings).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	allow    *allowIndex
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos unless an allow comment for this
+// analyzer covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow.allows(p.Analyzer.Name, position) {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, with a resolved source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package and returns the merged,
+// position-sorted, deduplicated findings. Packages whose load failed are
+// reported as errors by the loader, not here.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		allow := buildAllowIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				allow:    allow,
+				report: func(d Diagnostic) {
+					// A file shared by a package and its test variant is
+					// analyzed twice; keep one copy of each finding.
+					key := d.Pos.String() + "\x00" + d.Analyzer + "\x00" + d.Message
+					if !seen[key] {
+						seen[key] = true
+						diags = append(diags, d)
+					}
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ---- annotation grammar ----
+
+const (
+	hotpathDirective = "//alloyvet:hotpath"
+	allowPrefix      = "//alloyvet:allow("
+)
+
+// IsHotpath reports whether the function declaration carries the
+// //alloyvet:hotpath directive in its doc comment.
+func IsHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), hotpathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// allowedNames parses "//alloyvet:allow(a,b)" into {"a","b"}; a non-allow
+// comment yields nil.
+func allowedNames(text string) []string {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, allowPrefix) {
+		return nil
+	}
+	rest := text[len(allowPrefix):]
+	close := strings.IndexByte(rest, ')')
+	if close < 0 {
+		return nil
+	}
+	var names []string
+	for _, n := range strings.Split(rest[:close], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// allowIndex resolves allow comments to (file, line, analyzer) coverage.
+type allowIndex struct {
+	// lines maps filename -> line -> analyzer names allowed on that line.
+	lines map[string]map[int][]string
+}
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{lines: make(map[string]map[int][]string)}
+	add := func(pos token.Position, names []string) {
+		m := idx.lines[pos.Filename]
+		if m == nil {
+			m = make(map[int][]string)
+			idx.lines[pos.Filename] = m
+		}
+		m[pos.Line] = append(m[pos.Line], names...)
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := allowedNames(c.Text)
+				if names == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// Cover the comment's own line (trailing form) and the
+				// next line (standalone form above the flagged code).
+				add(pos, names)
+				add(token.Position{Filename: pos.Filename, Line: pos.Line + 1}, names)
+			}
+		}
+		// Doc-comment form: cover the whole function body.
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil || fn.Body == nil {
+				continue
+			}
+			var names []string
+			for _, c := range fn.Doc.List {
+				names = append(names, allowedNames(c.Text)...)
+			}
+			if len(names) == 0 {
+				continue
+			}
+			start := fset.Position(fn.Pos())
+			end := fset.Position(fn.Body.End())
+			for line := start.Line; line <= end.Line; line++ {
+				add(token.Position{Filename: start.Filename, Line: line}, names)
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *allowIndex) allows(analyzer string, pos token.Position) bool {
+	m := idx.lines[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, n := range m[pos.Line] {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}

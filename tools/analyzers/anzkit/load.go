@@ -1,0 +1,198 @@
+package anzkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path (test variants keep their bracketed form)
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage mirrors the `go list -json` fields the loader consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	ForTest    string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	CgoFiles   []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// LoadConfig controls package loading.
+type LoadConfig struct {
+	Dir          string   // working directory for the go tool ("" = cwd)
+	BuildTags    []string // extra -tags for go list
+	IncludeTests bool     // also load test variants (pkg [pkg.test])
+}
+
+// Load resolves the patterns with `go list -export -deps`, then parses and
+// type-checks every package that belongs to the surrounding module.
+// Dependencies — including the standard library — are imported from the
+// compiler's export data rather than re-checked from source, so loading
+// the whole repository takes well under a second.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-e", "-export", "-deps", "-json=Dir,ImportPath,Name,ForTest,Export,Standard,GoFiles,CgoFiles,Module,Error"}
+	if cfg.IncludeTests {
+		args = append(args, "-test")
+	}
+	if len(cfg.BuildTags) > 0 {
+		args = append(args, "-tags", strings.Join(cfg.BuildTags, ","))
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var listed []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		listed = append(listed, &p)
+	}
+
+	// Export-data table for the importer. Test variants carry a superset
+	// of the base package's API, so they win when both are present.
+	exports := make(map[string]string)
+	for _, p := range listed {
+		if p.Export == "" {
+			continue
+		}
+		path := p.ImportPath
+		if p.ForTest != "" && !strings.HasSuffix(p.Name, "_test") {
+			path = p.ForTest
+		} else if exports[path] != "" {
+			continue
+		}
+		exports[path] = p.Export
+	}
+
+	var pkgs []*Package
+	var loadErrs []string
+	for _, p := range listed {
+		if !analyzable(p) {
+			continue
+		}
+		pkg, err := typecheck(p, exports)
+		if err != nil {
+			loadErrs = append(loadErrs, err.Error())
+			continue
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(loadErrs) > 0 {
+		return pkgs, fmt.Errorf("load: %s", strings.Join(loadErrs, "; "))
+	}
+	return pkgs, nil
+}
+
+// analyzable selects the packages worth running analyzers over: in-module,
+// non-generated, with real source on disk.
+func analyzable(p *listedPackage) bool {
+	if p.Standard || p.Module == nil || len(p.GoFiles) == 0 || len(p.CgoFiles) > 0 {
+		return false
+	}
+	if p.Error != nil {
+		return false
+	}
+	// Synthesized test-main packages list generated files in the build
+	// cache, not the package directory.
+	if strings.HasSuffix(p.ImportPath, ".test") {
+		return false
+	}
+	return true
+}
+
+func typecheck(p *listedPackage, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+	}
+	tpkg, err := conf.Check(importPathBase(p), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		Path:  p.ImportPath,
+		Dir:   p.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// importPathBase strips the " [pkg.test]" suffix from test variants so the
+// type-checked package identifies as its real import path. External test
+// packages (package p_test) keep their _test suffix: they import the base
+// package, and sharing its path would look like a self-import.
+func importPathBase(p *listedPackage) string {
+	if p.ForTest != "" {
+		if strings.HasSuffix(p.Name, "_test") {
+			return p.ForTest + "_test"
+		}
+		return p.ForTest
+	}
+	if i := strings.IndexByte(p.ImportPath, ' '); i >= 0 {
+		return p.ImportPath[:i]
+	}
+	return p.ImportPath
+}

@@ -1,0 +1,171 @@
+// Package anztest is the golden-test harness for anzkit analyzers, in the
+// spirit of golang.org/x/tools/go/analysis/analysistest but built on the
+// repo's own loader.
+//
+// An analyzer's testdata lives under <analyzer>/testdata/src/... laid out as
+// package directories. Run copies that tree into a temporary module named
+// "testdata" (so cone matching against path suffixes like internal/sim works
+// exactly as it does on the real tree), loads it with the production loader,
+// runs the analyzer, and matches every diagnostic against `// want "regex"`
+// comments:
+//
+//	return time.Now() // want `reads the wall clock`
+//
+// A want comment expects one diagnostic on its own line whose message
+// matches the regexp. Diagnostics without a matching want, and wants without
+// a matching diagnostic, both fail the test — so each golden file proves
+// both that the analyzer fires where it must and that it stays silent
+// everywhere else.
+package anztest
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"alloysim/tools/analyzers/anzkit"
+)
+
+// Run executes analyzer over the packages under testdata/src and checks the
+// diagnostics against the tree's want comments. patterns defaults to ./...
+func Run(t *testing.T, testdata string, analyzer *anzkit.Analyzer, patterns ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("anztest: no testdata tree: %v", err)
+	}
+
+	dir := t.TempDir()
+	if err := copyTree(src, dir); err != nil {
+		t.Fatalf("anztest: copying testdata: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module testdata\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatalf("anztest: writing go.mod: %v", err)
+	}
+
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := anzkit.Load(anzkit.LoadConfig{Dir: dir, IncludeTests: true}, patterns...)
+	if err != nil {
+		t.Fatalf("anztest: loading testdata module: %v", err)
+	}
+	diags, err := anzkit.Run(pkgs, []*anzkit.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("anztest: running %s: %v", analyzer.Name, err)
+	}
+
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatalf("anztest: scanning want comments: %v", err)
+	}
+
+	for _, d := range diags {
+		key := posKey(dir, d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("no diagnostic at %s matching %q", key, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// posKey renders a diagnostic position as path-relative-to-module:line so
+// failures read the same regardless of the temp directory.
+func posKey(dir, filename string, line int) string {
+	rel, err := filepath.Rel(dir, filename)
+	if err != nil {
+		rel = filename
+	}
+	return fmt.Sprintf("%s:%d", filepath.ToSlash(rel), line)
+}
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)")
+
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants scans every .go file under dir for want comments, keyed by
+// file:line.
+func collectWants(dir string) (map[string][]*want, error) {
+	wants := map[string][]*want{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := posKey(dir, path, i+1)
+			for _, arg := range wantArgRe.FindAllString(m[1], -1) {
+				pattern, err := unquoteWant(arg)
+				if err != nil {
+					return fmt.Errorf("%s: bad want argument %s: %v", key, arg, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					return fmt.Errorf("%s: bad want regexp %s: %v", key, arg, err)
+				}
+				wants[key] = append(wants[key], &want{re: re})
+			}
+		}
+		return nil
+	})
+	return wants, err
+}
+
+func unquoteWant(arg string) (string, error) {
+	if strings.HasPrefix(arg, "`") {
+		return strings.Trim(arg, "`"), nil
+	}
+	return strconv.Unquote(arg)
+}
+
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+}

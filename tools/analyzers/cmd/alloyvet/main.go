@@ -1,0 +1,85 @@
+// Command alloyvet is the repo's static-analysis multichecker: the
+// determinism, hotpath, and cycleunits analyzers compiled into one binary.
+// See DESIGN.md §9 for the annotation grammar the analyzers honor.
+//
+// Two modes:
+//
+//	alloyvet [-tags t1,t2] [-tests=false] [packages...]
+//	    Standalone: load the packages (default ./...) and report findings
+//	    as file:line:col: analyzer: message. Exit 1 when anything is found.
+//
+//	go vet -vettool=$(go env GOPATH)/bin/alloyvet ./...
+//	    Vet-tool: the go command drives alloyvet through the unitchecker
+//	    protocol (one JSON config per package); see unitchecker.go.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"alloysim/tools/analyzers/anzkit"
+	"alloysim/tools/analyzers/cycleunits"
+	"alloysim/tools/analyzers/determinism"
+	"alloysim/tools/analyzers/hotpath"
+)
+
+var analyzers = []*anzkit.Analyzer{
+	determinism.Analyzer,
+	hotpath.Analyzer,
+	cycleunits.Analyzer,
+}
+
+func main() {
+	// The go command probes its vet tool with -V=full and -flags before
+	// use and then invokes it once per package with a single *.cfg argument.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		fmt.Printf("alloyvet version v1.0.0\n")
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		// JSON description of tool flags the go command may forward.
+		// alloyvet takes none in vet-tool mode.
+		fmt.Println("[]")
+		return
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(unitcheck(os.Args[1]))
+	}
+
+	tags := flag.String("tags", "", "comma-separated build tags for package loading")
+	tests := flag.Bool("tests", true, "also analyze test files")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: alloyvet [-tags t1,t2] [-tests=false] [packages...]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cfg := anzkit.LoadConfig{IncludeTests: *tests}
+	if *tags != "" {
+		cfg.BuildTags = strings.Split(*tags, ",")
+	}
+	pkgs, err := anzkit.Load(cfg, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alloyvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := anzkit.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alloyvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

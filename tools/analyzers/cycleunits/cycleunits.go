@@ -1,0 +1,137 @@
+// Package cycleunits keeps simulated-time arithmetic honest. sim.Cycle is
+// the unit of simulated processor time; converting raw integers into it
+// (or cycle values out of it) with a bare conversion erases the unit and
+// is how off-by-a-clock-domain bugs enter a timing model. The analyzer
+// enforces that such conversions go through the helpers the sim package
+// provides (sim.Ticks, Cycle.Count), which carry invariant checks and
+// document intent.
+//
+// Flagged everywhere except the package that defines the Cycle type:
+//   - Cycle(x) where x is a typed integer expression. Untyped constants
+//     are the idiomatic way to write literal latencies (t + 36) and stay
+//     legal. When x's type is itself a defined integer type the message
+//     calls out a cross-clock-domain conversion: two unit types must be
+//     related through an explicit rate helper, not a cast.
+//   - int(c), uint64(c), ... where c is Cycle-typed: the unit is dropped;
+//     use Cycle.Count (or keep the value in Cycle).
+//
+// Conversions to float64 for statistics are not flagged: observation
+// deliberately leaves the unit system.
+package cycleunits
+
+import (
+	"go/ast"
+	"go/types"
+
+	"alloysim/tools/analyzers/anzkit"
+)
+
+// CycleTypeName is the defined type name treated as the simulated-time
+// unit. Aliases (dram.Cycle, dramcache.Cycle) resolve to the same defined
+// type and are covered automatically.
+const CycleTypeName = "Cycle"
+
+// Analyzer is the cycle-unit check.
+var Analyzer = &anzkit.Analyzer{
+	Name: "cycleunits",
+	Doc:  "flag unit-erasing conversions between sim.Cycle and raw integers",
+	Run:  run,
+}
+
+func run(pass *anzkit.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			checkConversion(pass, call, tv.Type)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkConversion(pass *anzkit.Pass, call *ast.CallExpr, to types.Type) {
+	from, ok := pass.Info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	toCycle := isCycle(to)
+	fromCycle := isCycle(from.Type)
+
+	switch {
+	case toCycle && !fromCycle:
+		// The defining package owns the representation and may convert
+		// freely — that is where the helpers live.
+		if definesCycle(pass, to) {
+			return
+		}
+		if from.Value != nil {
+			return // untyped or constant: `Cycle(8)` and `t + 36` stay idiomatic
+		}
+		if !isInteger(from.Type) {
+			return
+		}
+		if named, ok := from.Type.(*types.Named); ok && named.Obj().Name() != CycleTypeName {
+			pass.Reportf(call.Pos(), "cross-clock-domain conversion %s -> %s; relate the domains with an explicit rate helper, not a cast",
+				named.Obj().Name(), typeName(to))
+			return
+		}
+		pass.Reportf(call.Pos(), "raw %s converted to %s erases the time unit; use sim.Ticks",
+			types.TypeString(from.Type, types.RelativeTo(pass.Pkg)), typeName(to))
+
+	case fromCycle && !toCycle:
+		if definesCycle(pass, from.Type) {
+			return
+		}
+		if !isInteger(to) {
+			return // float64 for statistics deliberately leaves the unit system
+		}
+		pass.Reportf(call.Pos(), "%s converted to %s drops the time unit; use Cycle.Count",
+			typeName(from.Type), types.TypeString(to, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// isCycle reports whether t (or the defined type behind an alias) is a
+// defined integer type named Cycle.
+func isCycle(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if named.Obj().Name() != CycleTypeName {
+		return false
+	}
+	return isInteger(named.Underlying())
+}
+
+// definesCycle reports whether the package under analysis is the one that
+// defines the Cycle type involved in the conversion.
+func definesCycle(pass *anzkit.Pass, t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == pass.Pkg.Path()
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			return pkg.Name() + "." + named.Obj().Name()
+		}
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,12 @@
+package cycleunits_test
+
+import (
+	"testing"
+
+	"alloysim/tools/analyzers/anztest"
+	"alloysim/tools/analyzers/cycleunits"
+)
+
+func TestGolden(t *testing.T) {
+	anztest.Run(t, "testdata", cycleunits.Analyzer)
+}

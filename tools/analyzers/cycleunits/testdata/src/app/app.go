@@ -1,0 +1,35 @@
+// Package app is golden testdata for cycleunits: a consumer of sim.Cycle
+// where bare unit-erasing conversions are flagged and the helpers, untyped
+// constants, and float64 observations stay legal.
+package app
+
+import "testdata/internal/sim"
+
+type DramClock uint32
+
+func Raw(n int) sim.Cycle {
+	return sim.Cycle(n) // want `raw int converted to sim.Cycle erases the time unit`
+}
+
+func CrossDomain(d DramClock) sim.Cycle {
+	return sim.Cycle(d) // want `cross-clock-domain conversion DramClock -> sim.Cycle`
+}
+
+func Drop(c sim.Cycle) uint64 {
+	return uint64(c) // want `sim.Cycle converted to uint64 drops the time unit`
+}
+
+// Literal uses untyped constants: the idiomatic way to write latencies.
+func Literal() sim.Cycle {
+	return sim.Cycle(36) + 4
+}
+
+// Stats leaves the unit system deliberately: float64 is exempt.
+func Stats(c sim.Cycle) float64 {
+	return float64(c)
+}
+
+// Blessed goes through the helpers the analyzer prescribes.
+func Blessed(n int, c sim.Cycle) uint64 {
+	return sim.Ticks(n).Count() + c.Count()
+}

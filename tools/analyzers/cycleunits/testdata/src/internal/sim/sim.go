@@ -1,0 +1,9 @@
+// Package sim is golden testdata: it defines the Cycle type, so its own
+// conversions are exempt — this is where the blessed helpers live.
+package sim
+
+type Cycle uint64
+
+func Ticks(n int) Cycle { return Cycle(n) }
+
+func (c Cycle) Count() uint64 { return uint64(c) }

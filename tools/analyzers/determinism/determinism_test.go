@@ -1,0 +1,32 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"alloysim/tools/analyzers/anztest"
+	"alloysim/tools/analyzers/determinism"
+)
+
+func TestGolden(t *testing.T) {
+	anztest.Run(t, "testdata", determinism.Analyzer)
+}
+
+func TestInCone(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"alloysim/internal/sim", true},
+		{"testdata/internal/sim", true},
+		{"internal/sim", true},
+		{"alloysim/internal/experiments", true},
+		{"alloysim/internal/cpu", false},
+		{"alloysim/tools/analyzers/anzkit", false},
+		{"notinternal/sim", false},
+	}
+	for _, tc := range cases {
+		if got := determinism.InCone(tc.path); got != tc.want {
+			t.Errorf("InCone(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}

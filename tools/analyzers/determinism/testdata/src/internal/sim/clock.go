@@ -1,0 +1,57 @@
+// Package sim is golden testdata: its import path ends in internal/sim, so
+// it sits inside the determinism cone and every nondeterministic construct
+// must be flagged.
+package sim
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+type Cycle uint64
+
+func WallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+func Elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time.Since reads the wall clock`
+}
+
+func GlobalDraw() int {
+	return rand.Intn(16) // want `rand.Intn draws from the globally seeded generator`
+}
+
+func GlobalDrawV2() uint64 {
+	return randv2.Uint64() // want `rand.Uint64 draws from the globally seeded generator`
+}
+
+// SeededDraw builds an explicitly seeded generator: the blessed pattern.
+func SeededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(16)
+}
+
+func SumValues(m map[uint64]Cycle) Cycle {
+	var s Cycle
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		s += v
+	}
+	return s
+}
+
+// SumSlice ranges over a slice: ordered, never flagged.
+func SumSlice(vs []Cycle) Cycle {
+	var s Cycle
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+
+// AllowedTiming is an operator-facing wall-clock read carrying the escape
+// hatch; the analyzer must stay silent.
+func AllowedTiming() time.Time {
+	return time.Now() //alloyvet:allow(determinism)
+}

@@ -1,0 +1,25 @@
+// Package util is golden testdata OUTSIDE the determinism cone: the same
+// constructs the cone forbids are legal here, so this file carries no want
+// comments and any diagnostic in it fails the test.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+func WallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+func GlobalDraw() int {
+	return rand.Intn(16)
+}
+
+func Keys(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

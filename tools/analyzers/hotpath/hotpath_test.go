@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"alloysim/tools/analyzers/anztest"
+	"alloysim/tools/analyzers/hotpath"
+)
+
+func TestGolden(t *testing.T) {
+	anztest.Run(t, "testdata", hotpath.Analyzer)
+}

@@ -1,0 +1,94 @@
+// Package hot is golden testdata for the hotpath analyzer: every allocation
+// class fires exactly once inside an annotated function, and the same
+// constructs stay silent in unannotated code, in invariants-guarded blocks,
+// and on allowlisted lines.
+package hot
+
+import (
+	"fmt"
+
+	"testdata/internal/invariants"
+)
+
+type counter struct{ n int }
+
+type gather struct{ buf []uint64 }
+
+func consume(v any) { _ = v }
+
+//alloyvet:hotpath
+func Capture(x int) int {
+	f := func() int { return x } // want `closure captures "x"`
+	return f()
+}
+
+//alloyvet:hotpath
+func Format(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt.Sprintf formats and allocates`
+}
+
+//alloyvet:hotpath
+func Box(n int) {
+	consume(n) // want `int boxed into any may allocate`
+}
+
+//alloyvet:hotpath
+func Convert(n int) any {
+	v := any(n) // want `int boxed into any may allocate`
+	return v
+}
+
+//alloyvet:hotpath
+func BoxReturn() any {
+	return counter{} // want `counter boxed into any may allocate`
+}
+
+// BoxPointer passes a pointer: stored directly in the interface word, no
+// allocation, no diagnostic. This is the pre-bound sim.Handler pattern.
+//
+//alloyvet:hotpath
+func BoxPointer(c *counter) {
+	consume(c)
+}
+
+//alloyvet:hotpath
+func (g *gather) Append(v uint64) {
+	g.buf = append(g.buf, v) // want `append result escapes to g.buf`
+}
+
+// LocalAppend reuses a buffer it owns: amortized-free, no diagnostic.
+//
+//alloyvet:hotpath
+func LocalAppend(vs []uint64, v uint64) int {
+	vs = append(vs, v)
+	return len(vs)
+}
+
+//alloyvet:hotpath
+func Allocate(n int) int {
+	buf := make([]byte, n) // want `make allocates`
+	p := new(counter)      // want `new allocates`
+	q := &counter{n: n}    // want `address of composite literal allocates`
+	return len(buf) + p.n + q.n
+}
+
+// Guarded boxes Failf arguments only inside an invariants.Enabled branch:
+// dead code in release builds, so the analyzer must stay silent.
+//
+//alloyvet:hotpath
+func Guarded(occ uint64, n int) {
+	if invariants.Enabled && occ == 0 {
+		invariants.Failf("slot %d empty", n)
+	}
+}
+
+//alloyvet:hotpath
+func Allowed(n int) []byte {
+	return make([]byte, n) //alloyvet:allow(hotpath) cold init path
+}
+
+// Cold is not annotated: the same constructs are legal here.
+func Cold(n int) string {
+	_ = make([]byte, n)
+	return fmt.Sprintf("n=%d", n)
+}

@@ -1,0 +1,12 @@
+// Package invariants mirrors the real internal/invariants just enough for
+// the hotpath golden tests: the analyzer recognizes the guard idiom by the
+// package name and the Enabled constant, not by import path.
+package invariants
+
+import "fmt"
+
+const Enabled = false
+
+func Failf(format string, args ...any) {
+	panic("invariant violation: " + fmt.Sprintf(format, args...))
+}
