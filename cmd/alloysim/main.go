@@ -11,15 +11,18 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"text/tabwriter"
 
 	"alloysim/internal/core"
+	"alloysim/internal/obs"
 	"alloysim/internal/trace"
 )
 
@@ -83,6 +86,13 @@ func main() {
 		list      = flag.Bool("list", false, "list workloads and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		metricsOut  = flag.String("metrics", "", `write a metrics dump at exit ("-" = stdout; a .json path selects JSON instead of Prometheus text)`)
+		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON of sampled requests (load in Perfetto / chrome://tracing)")
+		traceCSV    = flag.String("trace-csv", "", "write the per-request latency-breakdown CSV to this file")
+		traceSample = flag.Uint64("trace-sample", 64, "trace 1 in N reads below the L3 (0 disables tracing)")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address during the run")
+		manifestOut = flag.String("manifest", "", "write a run-provenance manifest (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -164,18 +174,76 @@ func main() {
 		defer cancel()
 	}
 
-	res, err := run(ctx, cfg)
+	// Observability: metrics and tracing attach to the primary run only —
+	// the baseline comparison run stays uninstrumented so its counters do
+	// not pollute the dump.
+	man := obs.NewManifest("alloysim", os.Args[1:])
+	man.ParamsFingerprint = cfg.Fingerprint()
+	man.Seed = int64(cfg.Seed)
+	man.Extra["workload"] = cfg.Workload
+	man.Extra["design"] = string(cfg.Design)
+
+	var reg *obs.Registry
+	if *metricsOut != "" || *debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	var trc *obs.Tracer
+	if *traceOut != "" || *traceCSV != "" {
+		trc = obs.NewTracer(*traceSample, 0)
+	}
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alloysim: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "alloysim: debug server listening on %s\n", *debugAddr)
+	}
+
+	res, err := run(ctx, cfg, reg, trc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "alloysim: %v\n", err)
 		os.Exit(1)
 	}
 	report(res)
 
+	if *traceOut != "" {
+		if err := writeExport(*traceOut, trc.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "alloysim: trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *traceCSV != "" {
+		if err := writeExport(*traceCSV, trc.WriteBreakdownCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "alloysim: trace-csv: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if trc != nil {
+		spanDrops, brkDrops := trc.Dropped()
+		fmt.Fprintf(os.Stderr, "alloysim: traced %d requests (%d spans / %d breakdowns dropped)\n",
+			trc.Sampled(), spanDrops, brkDrops)
+	}
+	if *metricsOut != "" {
+		if err := dumpMetrics(*metricsOut, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "alloysim: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *manifestOut != "" {
+		man.Finish()
+		if err := man.WriteFile(*manifestOut); err != nil {
+			fmt.Fprintf(os.Stderr, "alloysim: manifest: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *baseline && cfg.Design != core.DesignNone {
 		bcfg := cfg
 		bcfg.Design = core.DesignNone
 		bcfg.Predictor = core.PredDefault
-		base, err := run(ctx, bcfg)
+		base, err := run(ctx, bcfg, nil, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "alloysim: baseline: %v\n", err)
 			os.Exit(1)
@@ -185,12 +253,45 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, cfg core.Config) (core.Result, error) {
+func run(ctx context.Context, cfg core.Config, reg *obs.Registry, trc *obs.Tracer) (core.Result, error) {
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return core.Result{}, err
 	}
+	sys.EnableObservability(reg, trc)
 	return sys.RunContext(ctx)
+}
+
+// writeExport creates path and streams one export into it.
+func writeExport(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// dumpMetrics writes the registry in Prometheus text exposition format,
+// or as a flat JSON object when the destination path ends in ".json".
+// "-" selects stdout.
+func dumpMetrics(dest string, reg *obs.Registry) error {
+	w := io.Writer(os.Stdout)
+	if dest != "-" {
+		f, err := os.Create(dest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(dest, ".json") {
+		return reg.WriteJSON(w)
+	}
+	return reg.WritePrometheus(w)
 }
 
 func report(r core.Result) {

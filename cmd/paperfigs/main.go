@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"alloysim/internal/experiments"
+	"alloysim/internal/obs"
 )
 
 // startProfiles begins CPU profiling and arranges a heap snapshot, as
@@ -79,6 +80,8 @@ func main() {
 		retries    = flag.Int("retries", 1, "retry attempts for a failed simulation point")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		metricsOut = flag.String("metrics", "", `write a sweep-metrics dump at exit ("-" = stdout, Prometheus text)`)
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address during the sweep")
 	)
 	flag.Parse()
 
@@ -115,6 +118,21 @@ func main() {
 	params.PointTimeout = *timeout
 	params.Retries = *retries
 	runner := experiments.NewRunner(params)
+
+	var reg *obs.Registry
+	if *metricsOut != "" || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		runner.RegisterMetrics(reg, "runner")
+	}
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "paperfigs: debug server listening on %s\n", *debugAddr)
+	}
 
 	if *checkpoint != "" {
 		restored, err := runner.EnableCheckpoint(*checkpoint)
@@ -155,6 +173,13 @@ func main() {
 
 	run := func(e experiments.Experiment) {
 		start := time.Now()
+		// The sidecar manifest is started per experiment so its wall time
+		// covers exactly the simulations behind this results file.
+		man := obs.NewManifest("paperfigs", os.Args[1:])
+		man.ParamsFingerprint = params.Fingerprint()
+		man.Seed = int64(params.Seed)
+		man.Extra["experiment"] = e.ID
+		man.Extra["title"] = e.Title
 		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
 		var out io.Writer = os.Stdout
 		var f *os.File
@@ -177,6 +202,11 @@ func main() {
 				fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
 				fail(1)
 			}
+			man.Finish()
+			if err := man.WriteFile(filepath.Join(*outDir, e.ID+".manifest.json")); err != nil {
+				fmt.Fprintf(os.Stderr, "paperfigs: manifest: %v\n", err)
+				fail(1)
+			}
 		}
 		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 	}
@@ -194,4 +224,27 @@ func main() {
 		}
 	}
 	runner.WriteSummary(os.Stdout)
+	if *metricsOut != "" {
+		if err := dumpMetrics(*metricsOut, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpMetrics writes the registry in Prometheus text exposition format to
+// the given path ("-" = stdout).
+func dumpMetrics(dest string, reg *obs.Registry) error {
+	if dest == "-" {
+		return reg.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,17 @@
+package cache
+
+import "alloysim/internal/obs"
+
+// RegisterMetrics exposes the cache's event counters in reg under the
+// given prefix (e.g. "l3"). Only read-back closures are registered; the
+// lookup and fill paths keep incrementing their plain stat fields.
+func (c *Cache) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.RegisterCounterFunc(prefix+"_hits_total", "demand accesses that hit", func() uint64 { return c.stats.Hits })
+	reg.RegisterCounterFunc(prefix+"_misses_total", "demand accesses that missed", func() uint64 { return c.stats.Misses })
+	reg.RegisterCounterFunc(prefix+"_write_hits_total", "write accesses that hit", func() uint64 { return c.stats.WriteHits })
+	reg.RegisterCounterFunc(prefix+"_write_misses_total", "write accesses that missed", func() uint64 { return c.stats.WriteMisses })
+	reg.RegisterCounterFunc(prefix+"_evictions_total", "valid lines displaced by fills", func() uint64 { return c.stats.Evictions })
+	reg.RegisterCounterFunc(prefix+"_writebacks_total", "dirty lines displaced by fills", func() uint64 { return c.stats.Writebacks })
+	reg.RegisterGaugeFunc(prefix+"_hit_rate", "hits over demand accesses", func() float64 { return c.stats.HitRate() })
+	reg.RegisterGaugeFunc(prefix+"_occupancy_lines", "valid lines currently resident", func() float64 { return float64(c.Occupancy()) })
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -42,6 +43,21 @@ func LoadConfig(r io.Reader) (Config, error) {
 		return Config{}, err
 	}
 	return cfg, nil
+}
+
+// Fingerprint returns a short stable hash over the run-defining
+// parameters (the serialized configuration, which excludes runtime
+// Generators). Run manifests record it so any results file can be matched
+// against the exact configuration that produced it.
+func (c Config) Fingerprint() string {
+	c.Generators = nil
+	data, err := json.Marshal(configJSON{Config: c})
+	if err != nil {
+		// Config is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("core: fingerprinting config: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("cfg-%x", sum[:8])
 }
 
 // SaveConfigFile writes the configuration to a file path.

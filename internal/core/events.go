@@ -3,6 +3,7 @@ package core
 import (
 	"alloysim/internal/cache"
 	"alloysim/internal/memaddr"
+	"alloysim/internal/obs"
 	"alloysim/internal/sim"
 )
 
@@ -21,6 +22,8 @@ type fillEvent struct {
 	s      *System
 	line   memaddr.Line
 	victim cache.Eviction
+	tid    uint64 // obs trace ID of the read that missed; 0 when untraced
+	core   int32
 	next   *fillEvent
 }
 
@@ -28,6 +31,9 @@ type fillEvent struct {
 func (f *fillEvent) Fire(now sim.Cycle) {
 	s := f.s
 	res := s.org.Fill(now, f.line)
+	if f.tid != 0 {
+		s.trc.Span(f.tid, obs.SpanFill, f.core, uint64(f.line), now.Count(), cyclesBetween(now, res.Done), false)
+	}
 	if f.victim.Valid && f.victim.Dirty {
 		s.scheduleWriteback(res.Done, f.victim.Line)
 	}
@@ -51,7 +57,8 @@ func (w *writebackEvent) Fire(now sim.Cycle) {
 }
 
 // scheduleFill enqueues a pooled fill event at the data-arrival cycle.
-func (s *System) scheduleFill(at sim.Cycle, line memaddr.Line, victim cache.Eviction) {
+// tid/core carry the missing read's trace identity into the fill span.
+func (s *System) scheduleFill(at sim.Cycle, line memaddr.Line, victim cache.Eviction, tid uint64, core int32) {
 	f := s.fillFree
 	if f == nil {
 		f = &fillEvent{s: s}
@@ -59,6 +66,7 @@ func (s *System) scheduleFill(at sim.Cycle, line memaddr.Line, victim cache.Evic
 		s.fillFree = f.next
 	}
 	f.line, f.victim = line, victim
+	f.tid, f.core = tid, core
 	s.eng.ScheduleHandler(at, f)
 }
 

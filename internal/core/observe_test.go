@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"alloysim/internal/obs"
+)
+
+// runObserved runs cfg with a fresh registry and tracer attached and
+// returns the result plus both attachments for inspection.
+func runObserved(t *testing.T, cfg Config, sample uint64) (Result, *obs.Registry, *obs.Tracer) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	trc := obs.NewTracer(sample, 1<<14)
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableObservability(reg, trc)
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, reg, trc
+}
+
+// TestObservabilityInert is the layer's core contract: attaching metrics
+// and a sampling tracer must not perturb the simulation. The instrumented
+// run's Result must equal the plain run's exactly.
+func TestObservabilityInert(t *testing.T) {
+	cfg := smallConfig("mcf_r", DesignAlloy)
+	plain := runOne(t, cfg)
+	instr, _, _ := runObserved(t, cfg, 4)
+	if !reflect.DeepEqual(plain, instr) {
+		t.Fatalf("observability changed the result:\nplain: %+v\ninstr: %+v", plain, instr)
+	}
+}
+
+// TestMetricsReconcileWithResult checks the registry against the same
+// counters Result reports through collect(): the two views must agree,
+// or a metrics dump could not be trusted next to a results file.
+func TestMetricsReconcileWithResult(t *testing.T) {
+	cfg := smallConfig("mcf_r", DesignAlloy)
+	res, reg, _ := runObserved(t, cfg, 4)
+
+	want := []struct {
+		name string
+		v    float64
+	}{
+		{"dram_offchip_reads_total", float64(res.MemReads)},
+		{"dram_offchip_writes_total", float64(res.MemWrites)},
+		{"wasted_mem_reads_total", float64(res.WastedMemReads)},
+		{"predictor_accuracy", res.Accuracy.Overall()},
+	}
+	for _, w := range want {
+		got, ok := reg.Value(w.name)
+		if !ok {
+			t.Fatalf("metric %s not registered", w.name)
+		}
+		if got != w.v {
+			t.Errorf("%s = %v, want %v (from Result)", w.name, got, w.v)
+		}
+	}
+	if v, ok := reg.Value("below_reads_total"); !ok || v <= 0 {
+		t.Errorf("below_reads_total = %v, %v; want > 0", v, ok)
+	}
+}
+
+// TestTraceExportsDeterministic runs the same configuration twice with
+// identical tracers: the Chrome JSON and the breakdown CSV must be
+// byte-identical, so a trace can be diffed across code changes.
+func TestTraceExportsDeterministic(t *testing.T) {
+	cfg := smallConfig("libquantum_r", DesignAlloy)
+	var jsons, csvs [2][]byte
+	for i := 0; i < 2; i++ {
+		_, _, trc := runObserved(t, cfg, 8)
+		if trc.Sampled() == 0 {
+			t.Fatal("tracer sampled nothing")
+		}
+		var j, c bytes.Buffer
+		if err := trc.WriteChromeTrace(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := trc.WriteBreakdownCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		jsons[i], csvs[i] = j.Bytes(), c.Bytes()
+	}
+	if !bytes.Equal(jsons[0], jsons[1]) {
+		t.Error("Chrome trace JSON differs between identical runs")
+	}
+	if !bytes.Equal(csvs[0], csvs[1]) {
+		t.Error("breakdown CSV differs between identical runs")
+	}
+}
+
+// TestBreakdownAdditive verifies the acceptance invariant on real
+// simulations of every organization: in each exported CSV row, the
+// component columns sum exactly to the total column.
+func TestBreakdownAdditive(t *testing.T) {
+	for _, d := range []Design{DesignAlloy, DesignSRAMTag32, DesignLH, DesignIdealLO, DesignNone} {
+		t.Run(string(d), func(t *testing.T) {
+			cfg := smallConfig("mcf_r", d)
+			_, _, trc := runObserved(t, cfg, 8)
+			var buf bytes.Buffer
+			if err := trc.WriteBreakdownCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+			if len(lines) < 2 {
+				t.Fatal("no breakdown rows exported")
+			}
+			for _, line := range lines[1:] {
+				f := strings.Split(line, ",")
+				// Columns: req,core,line,hit,start,total,pred,…,other —
+				// total is column 5; components are columns 6..15.
+				total, err := strconv.ParseUint(f[5], 10, 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sum uint64
+				for _, s := range f[6:] {
+					v, err := strconv.ParseUint(s, 10, 64)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sum += v
+				}
+				if sum != total {
+					t.Fatalf("row %q: components sum to %d, total is %d", line, sum, total)
+				}
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"alloysim/internal/dram"
 	"alloysim/internal/dramcache"
 	"alloysim/internal/memaddr"
+	"alloysim/internal/obs"
 	"alloysim/internal/predictor"
 	"alloysim/internal/sim"
 	"alloysim/internal/stats"
@@ -44,6 +45,11 @@ type System struct {
 	belowWrites    stats.Counter // write traffic below the L3
 	wastedMemReads stats.Counter // parallel probes discarded on cache hits
 	footprint      *memaddr.LineSet
+
+	// trc samples per-request lifecycle traces; nil (the common case)
+	// disables tracing, and every hot-path call on it is a nil-safe
+	// early return. Set via EnableObservability.
+	trc *obs.Tracer
 
 	// Pooled engine events for the fill path (see events.go); freelists
 	// keep steady-state scheduling allocation-free.
@@ -348,8 +354,12 @@ func (s *System) noteWrite(done sim.Cycle) {
 //
 //alloyvet:hotpath
 func (s *System) readBelow(t0 sim.Cycle, core int, pc uint64, line memaddr.Line) sim.Cycle {
+	tid := s.trc.Sample()
 	if s.org == nil {
 		r := s.mem.AccessLine(t0, line, false)
+		if tid != 0 {
+			s.traceMemOnly(tid, core, uint64(line), t0, r)
+		}
 		return r.Done
 	}
 
@@ -358,25 +368,29 @@ func (s *System) readBelow(t0 sim.Cycle, core int, pc uint64, line memaddr.Line)
 	res := s.org.Access(t1, line, false)
 
 	var dataAt sim.Cycle
+	var m dram.Result
+	memStart := t1
+	usedMem := false
 	if res.Hit {
 		dataAt = res.DataReady
 		if !predHit {
 			// PAM path on an actual hit: the parallel memory probe is
 			// wasted bandwidth (Table 5's "serviced by cache, predicted
 			// memory" scenario).
-			s.mem.AccessLine(t1, line, false)
+			m = s.mem.AccessLine(t1, line, false)
+			usedMem = true
 			s.wastedMemReads.Inc()
 		}
 		s.hitLat.Observe(float64(dataAt - t0))
 		s.hitLatHist.Observe((dataAt - t0).Count())
 	} else {
-		memStart := t1
 		if predHit {
 			// SAM path on an actual miss: memory dispatch waits for the
 			// cache-miss detection.
 			memStart = res.TagKnown
 		}
-		m := s.mem.AccessLine(memStart, line, false)
+		m = s.mem.AccessLine(memStart, line, false)
+		usedMem = true
 		dataAt = m.Done
 		if !predHit && !s.auth && res.TagKnown > dataAt {
 			// §5.1: data returned by memory cannot be consumed until the
@@ -391,8 +405,11 @@ func (s *System) readBelow(t0 sim.Cycle, core int, pc uint64, line memaddr.Line)
 			// be scheduled through the engine, not reserved now — a
 			// far-future synchronous reservation would make temporally
 			// earlier requests (processed later) queue behind it.
-			s.scheduleFill(dataAt, line, res.Victim)
+			s.scheduleFill(dataAt, line, res.Victim, tid, int32(core))
 		}
+	}
+	if tid != 0 {
+		s.traceRead(tid, core, uint64(line), t0, t1, dataAt, memStart, predHit, res, m, usedMem)
 	}
 	s.pred.Update(core, pc, line, res.Hit)
 	s.acc.Record(predHit, res.Hit)

@@ -192,12 +192,18 @@ func (s Stats) RowHitRate() float64 {
 	return float64(s.RowHits) / float64(total)
 }
 
-// Result describes one serviced request.
+// Result describes one serviced request. The intermediate timestamps
+// telescope the service time into the segments the obs tracer exports:
+// arrival→Start is bank queueing, Start→CASDone is the bank's ACT+CAS
+// work, CASDone→BusStart is data-bus queueing, and BusStart→Done is the
+// burst transfer.
 type Result struct {
-	Done    Cycle // cycle the last data beat arrives
-	Start   Cycle // cycle the request began occupying its bank
-	RowHit  bool
-	Latency Cycle // Done minus arrival, includes queueing
+	Done     Cycle // cycle the last data beat arrives
+	Start    Cycle // cycle the request began occupying its bank
+	CASDone  Cycle // cycle the column access completes (first data ready)
+	BusStart Cycle // cycle the data burst begins on the channel bus
+	RowHit   bool
+	Latency  Cycle // Done minus arrival, includes queueing
 }
 
 // DRAM is a multi-channel device instance.
@@ -311,11 +317,12 @@ func (d *DRAM) AccessRow(now Cycle, row uint64, burst Cycle, write bool) Result 
 		// Drained writes are batched per row (~8 writes amortize one
 		// activation), so the effective per-write cost is the burst plus
 		// an eighth of the row-open overhead.
-		done := start + (d.cfg.TACT+d.cfg.TCAS)/8 + burst
+		casDone := start + (d.cfg.TACT+d.cfg.TCAS)/8
+		done := casDone + burst
 		c.writeReady = done
 		c.busBusy += burst
 		d.stats.BusBusy += burst
-		return Result{Done: done, Start: start, Latency: done - now}
+		return Result{Done: done, Start: start, CASDone: casDone, BusStart: casDone, Latency: done - now}
 	}
 	d.stats.Reads++
 
@@ -383,7 +390,7 @@ func (d *DRAM) AccessRow(now Cycle, row uint64, burst Cycle, write bool) Result 
 	b.ready = bankNext
 	b.lastUse = casDone
 
-	return Result{Done: done, Start: start, RowHit: rowHit, Latency: done - now}
+	return Result{Done: done, Start: start, CASDone: casDone, BusStart: busStart, RowHit: rowHit, Latency: done - now}
 }
 
 // refreshAdjust pushes a command start time out of any refresh window.

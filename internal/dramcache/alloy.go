@@ -132,6 +132,7 @@ func (a *Alloy) Access(now Cycle, line memaddr.Line, write bool) AccessResult {
 	var r AccessResult
 	r.TagKnown = tad.Done + TagCheckCycles
 	r.RowHit = tad.RowHit
+	r.First, r.Probed = tad, true
 
 	var hit bool
 	var ev cache.Eviction

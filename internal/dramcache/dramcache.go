@@ -22,6 +22,7 @@ import (
 	"alloysim/internal/cache"
 	"alloysim/internal/dram"
 	"alloysim/internal/memaddr"
+	"alloysim/internal/obs"
 	"alloysim/internal/stats"
 )
 
@@ -51,6 +52,15 @@ type AccessResult struct {
 	Allocated bool
 	// RowHit reports whether the first DRAM access hit an open row.
 	RowHit bool
+	// First is the timing of the first stacked-DRAM access the
+	// organization issued for this request (the tag-line read for
+	// LH-Cache, the TAD stream for Alloy, the data read for SRAM-Tag and
+	// IDEAL-LO hits); Probed reports whether any stacked access was
+	// issued at all (SRAM-Tag misses resolve purely in the SRAM array).
+	// The obs tracer decomposes hit latency into queue/bank/bus/burst
+	// segments from these timestamps.
+	First  dram.Result
+	Probed bool
 }
 
 // FillResult describes the completion of fill traffic.
@@ -81,6 +91,9 @@ type Organization interface {
 	// ResetStats zeroes counters while keeping contents; separates warmup
 	// from measurement.
 	ResetStats()
+	// RegisterMetrics exposes the organization's counters in reg under
+	// the given prefix. Registration is setup-time only.
+	RegisterMetrics(reg *obs.Registry, prefix string)
 }
 
 // base carries the machinery shared by all organizations.
@@ -126,6 +139,18 @@ func (b *base) RowBufferHitRate() float64 {
 		return 0
 	}
 	return float64(b.rowHits.Value()) / float64(b.accs.Value())
+}
+
+// RegisterMetrics implements Organization for every design that embeds
+// base: the tag-store counters plus the organization-level access, row
+// locality, and hit-latency statistics. The shared stacked DRAM device is
+// registered once by the system, not per organization.
+func (b *base) RegisterMetrics(reg *obs.Registry, prefix string) {
+	b.tags.RegisterMetrics(reg, prefix+"_tags")
+	reg.RegisterCounterFunc(prefix+"_accesses_total", "demand accesses serviced", func() uint64 { return b.accs.Value() })
+	reg.RegisterCounterFunc(prefix+"_row_buffer_hits_total", "demand accesses whose first DRAM access hit an open row", func() uint64 { return b.rowHits.Value() })
+	reg.RegisterGaugeFunc(prefix+"_row_buffer_hit_rate", "row-buffer hit fraction of demand accesses", func() float64 { return b.RowBufferHitRate() })
+	reg.RegisterGaugeFunc(prefix+"_hit_latency_mean_cycles", "mean cache-internal hit latency", func() float64 { return b.hitLat.Value() })
 }
 
 // RowBufferHitRater is implemented by organizations exposing row-locality

@@ -86,6 +86,7 @@ func (d *IdealLO) Access(now Cycle, line memaddr.Line, write bool) AccessResult 
 	if hit {
 		res := d.stacked.AccessRow(now, d.rowOf(set), d.stacked.Config().BurstLine, write)
 		r.Hit, r.DataReady, r.RowHit = true, res.Done, res.RowHit
+		r.First, r.Probed = res, true
 	} else if !write {
 		r.Victim, r.Allocated = ev, true
 	}

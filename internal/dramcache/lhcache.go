@@ -120,6 +120,7 @@ func (c *LHCache) Access(now Cycle, line memaddr.Line, write bool) AccessResult 
 	var r AccessResult
 	r.TagKnown = tagKnown
 	r.RowHit = tagRead.RowHit
+	r.First, r.Probed = tagRead, true
 
 	var hit bool
 	var ev cache.Eviction

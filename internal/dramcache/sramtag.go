@@ -82,6 +82,7 @@ func (s *SRAMTag) Access(now Cycle, line memaddr.Line, write bool) AccessResult 
 		if s.tags.Probe(line, true) {
 			res := s.stacked.AccessRow(tagKnown, s.rowOf(set), s.stacked.Config().BurstLine, true)
 			r.Hit, r.DataReady, r.RowHit = true, res.Done, res.RowHit
+			r.First, r.Probed = res, true
 		}
 		s.observe(r, now)
 		return r
@@ -90,6 +91,7 @@ func (s *SRAMTag) Access(now Cycle, line memaddr.Line, write bool) AccessResult 
 	if hit {
 		res := s.stacked.AccessRow(tagKnown, s.rowOf(set), s.stacked.Config().BurstLine, false)
 		r.Hit, r.DataReady, r.RowHit = true, res.Done, res.RowHit
+		r.First, r.Probed = res, true
 	} else {
 		r.Victim, r.Allocated = ev, true
 	}

@@ -60,6 +60,11 @@ func (p Params) fingerprint() string {
 	return hex.EncodeToString(h[:])
 }
 
+// Fingerprint exposes the result-defining parameter hash for run
+// manifests: a results file stamped with it can be matched against the
+// checkpoint and sweep that produced it.
+func (p Params) Fingerprint() string { return p.fingerprint() }
+
 // EnableCheckpoint attaches a disk checkpoint to the runner. If path
 // already holds a checkpoint, its entries are loaded into the memo and
 // the restored count is returned; a checkpoint written under different

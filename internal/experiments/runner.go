@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"alloysim/internal/core"
+	"alloysim/internal/obs"
 	"alloysim/internal/stats"
 	"alloysim/internal/trace"
 )
@@ -94,10 +95,12 @@ type Runner struct {
 	// path and serializes snapshot writes.
 	ckpt *checkpointWriter
 
-	// progressMu serializes Progress writes: Prefetch completes points on
-	// many goroutines, and io.Writer implementations (files, buffers) are
-	// not safe for concurrent use.
-	progressMu sync.Mutex
+	// pw serializes all operator-facing output: Prefetch completes points
+	// on many goroutines, and io.Writer implementations (files, buffers)
+	// are not safe for concurrent use. WriteSummary renders through the
+	// same lock, so a summary line can never interleave with a progress
+	// line even when they target the same stream.
+	pw *obs.SyncWriter
 
 	// simulate is the point-execution function; tests substitute it to
 	// count or fail executions without paying for real simulations.
@@ -149,6 +152,7 @@ func NewRunner(p Params) *Runner {
 		cache:    make(map[Point]core.Result),
 		inflight: make(map[Point]*inflightCall),
 		failures: make(map[Point]*FailureRecord),
+		pw:       obs.NewSyncWriter(p.Progress),
 	}
 	r.simulate = r.simulatePoint
 	return r
@@ -386,30 +390,40 @@ func (r *Runner) Metrics() Metrics {
 
 // WriteSummary renders the structured run summary: how much work the
 // sweep did, how much the memo and checkpoint absorbed, and where the
-// wall time went. The first line is stable ("sweep summary: N simulations
-// run, ...") so scripts can assert on it.
+// wall time went — as one key=value line, stable for scripts to grep and
+// parse. The write goes through the runner's serialized writer, so it can
+// never interleave with a concurrent progress line, even when w and the
+// Progress writer share a stream.
 func (r *Runner) WriteSummary(w io.Writer) {
 	m := r.Metrics()
-	fmt.Fprintf(w, "sweep summary: %d simulations run, %d memo hits (%d restored from checkpoint), %d in-flight joins, %d retries, %d failures\n",
-		m.PointsRun, m.MemoHits, m.CheckpointHits, m.FlightJoins, m.Retries, m.Failures)
+	var mean time.Duration
 	if m.PointsRun > 0 {
-		mean := m.SimWall / time.Duration(m.PointsRun)
-		fmt.Fprintf(w, "  sim wall: %.1fs total, %.2fs/point mean, %.2fs max\n",
-			m.SimWall.Seconds(), mean.Seconds(), m.MaxPointWall.Seconds())
+		mean = m.SimWall / time.Duration(m.PointsRun)
 	}
+	r.pw.Fprintf(w, "sweep summary: simulations_run=%d memo_hits=%d checkpoint_hits=%d inflight_joins=%d retries=%d failures=%d sim_wall_s=%.1f point_mean_s=%.2f point_max_s=%.2f\n",
+		m.PointsRun, m.MemoHits, m.CheckpointHits, m.FlightJoins, m.Retries, m.Failures,
+		m.SimWall.Seconds(), mean.Seconds(), m.MaxPointWall.Seconds())
 	for _, f := range r.FailureRecords() {
-		fmt.Fprintf(w, "  failed: %s after %d attempt(s): %s\n", f.Point, f.Attempts, f.Err)
+		r.pw.Fprintf(w, "  failed: %s after %d attempt(s): %s\n", f.Point, f.Attempts, f.Err)
 	}
+}
+
+// RegisterMetrics exposes the runner's sweep counters in reg under the
+// given prefix (e.g. "runner"). Reads snapshot under the runner lock at
+// dump time.
+func (r *Runner) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.RegisterCounterFunc(prefix+"_points_run_total", "simulations actually executed", func() uint64 { return r.Metrics().PointsRun })
+	reg.RegisterCounterFunc(prefix+"_memo_hits_total", "Run calls served from the in-memory memo", func() uint64 { return r.Metrics().MemoHits })
+	reg.RegisterCounterFunc(prefix+"_checkpoint_hits_total", "points restored from a checkpoint file", func() uint64 { return r.Metrics().CheckpointHits })
+	reg.RegisterCounterFunc(prefix+"_inflight_joins_total", "Run calls that joined a concurrent duplicate", func() uint64 { return r.Metrics().FlightJoins })
+	reg.RegisterCounterFunc(prefix+"_retries_total", "re-attempts after transient failures", func() uint64 { return r.Metrics().Retries })
+	reg.RegisterCounterFunc(prefix+"_failures_total", "points whose every attempt failed", func() uint64 { return r.Metrics().Failures })
+	reg.RegisterGaugeFunc(prefix+"_sim_wall_seconds", "cumulative wall time inside successful simulations", func() float64 { return r.Metrics().SimWall.Seconds() })
 }
 
 // progressf writes one progress line, serialized across goroutines.
 func (r *Runner) progressf(format string, args ...interface{}) {
-	if r.p.Progress == nil {
-		return
-	}
-	r.progressMu.Lock()
-	fmt.Fprintf(r.p.Progress, format, args...)
-	r.progressMu.Unlock()
+	r.pw.Printf(format, args...)
 }
 
 // Speedup returns the speedup of a design run over the workload baseline.

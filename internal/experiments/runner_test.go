@@ -343,9 +343,12 @@ func TestWriteSummaryShape(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	r.WriteSummary(&buf)
-	want := "sweep summary: 1 simulations run, 1 memo hits (0 restored from checkpoint), 0 in-flight joins, 0 retries, 0 failures\n"
+	want := "sweep summary: simulations_run=1 memo_hits=1 checkpoint_hits=0 inflight_joins=0 retries=0 failures=0 "
 	if !strings.HasPrefix(buf.String(), want) {
 		t.Fatalf("summary = %q, want prefix %q", buf.String(), want)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 1 {
+		t.Fatalf("summary spans %d lines, want exactly 1:\n%s", n, buf.String())
 	}
 }
 

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartDebugServer exposes the registry over HTTP for interactive
+// inspection of a running simulation:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  flat JSON (expvar style)
+//	/debug/pprof/  the standard pprof handlers
+//
+// Counter reads are unsynchronized snapshots of the single-threaded
+// simulation loop's fields: monotonic, word-sized values whose torn
+// reads are harmless for eyeballing progress. The listener is bound
+// before returning so callers fail fast on a bad address; the server
+// goroutine then runs until process exit.
+func StartDebugServer(addr string, reg *Registry) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w) //nolint:errcheck // client gone; nothing to do
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w) //nolint:errcheck // client gone; nothing to do
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // exits with the process
+	return srv, nil
+}

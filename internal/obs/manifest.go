@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Manifest records a run's provenance: what produced a results file, from
+// which source revision, with which parameters, and how long it took.
+// Every results file a CLI writes gains a sidecar manifest so numbers can
+// always be traced back to the exact configuration that made them.
+type Manifest struct {
+	Tool              string            `json:"tool"`
+	Args              []string          `json:"args,omitempty"`
+	ParamsFingerprint string            `json:"params_fingerprint,omitempty"`
+	Seed              int64             `json:"seed"`
+	GitRev            string            `json:"git_rev,omitempty"`
+	GitDirty          bool              `json:"git_dirty,omitempty"`
+	GoVersion         string            `json:"go_version"`
+	Start             time.Time         `json:"start"`
+	WallSeconds       float64           `json:"wall_seconds"`
+	Extra             map[string]string `json:"extra,omitempty"`
+}
+
+// NewManifest starts a manifest for the named tool, capturing the Go
+// version, the VCS revision embedded by the toolchain (when built from a
+// checkout), and the start time. Wall-clock use is the entire point of a
+// provenance record, so it is exempt from the determinism rule.
+func NewManifest(tool string, args []string) *Manifest {
+	m := &Manifest{
+		Tool:      tool,
+		Args:      args,
+		GoVersion: runtime.Version(),
+		Start:     time.Now().UTC(), //alloyvet:allow(determinism) provenance timestamps are the feature
+		Extra:     map[string]string{},
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.GitRev = s.Value
+			case "vcs.modified":
+				m.GitDirty = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// Finish stamps the elapsed wall time.
+func (m *Manifest) Finish() {
+	m.WallSeconds = time.Since(m.Start).Seconds() //alloyvet:allow(determinism) provenance timestamps are the feature
+}
+
+// WriteFile writes the manifest as indented JSON to path, replacing any
+// existing file.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

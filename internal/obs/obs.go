@@ -1,0 +1,323 @@
+// Package obs is the simulator's observability layer: a typed metrics
+// registry, a sampling per-request latency tracer, a serialized log
+// writer, and run manifests — all engineered to cost nothing when turned
+// off and almost nothing when on.
+//
+// The design splits responsibilities so no hot path ever touches a map or
+// an interface:
+//
+//   - Hot paths increment plain struct fields (Counter, Gauge, the
+//     existing stats counters) they own directly. The //alloyvet:hotpath
+//     analyzer verifies the increment methods allocate nothing.
+//   - The Registry only remembers *where* those fields live. Components
+//     register a counter pointer or a read-back closure once at setup;
+//     lookups, sorting, and formatting happen exclusively at dump time.
+//   - The Tracer records fixed-size span records into a preallocated ring
+//     buffer; sampling is a deterministic 1-in-N counter, never a clock
+//     or RNG, so traced runs remain byte-reproducible.
+//
+// Everything here is single-writer by design, like the simulator it
+// instruments: one System owns one Registry and one Tracer. The only
+// concurrency-aware type is SyncWriter, which serializes log lines from
+// the experiment runner's worker goroutines.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"alloysim/internal/stats"
+)
+
+// Counter is a monotonically increasing event count incremented on hot
+// paths. It is deliberately not atomic: the simulator is single-threaded,
+// and an uncontended add is the whole point of the idiom. Hold the
+// counter as a struct field and increment it directly; never look it up
+// through the Registry per event.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+//
+//alloyvet:hotpath
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds d.
+//
+//alloyvet:hotpath
+func (c *Counter) Add(d uint64) { c.v += d }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is an instantaneous level (queue depth, occupancy). Like Counter
+// it is a plain field for single-threaded hot-path updates.
+type Gauge struct{ v float64 }
+
+// Set replaces the gauge value.
+//
+//alloyvet:hotpath
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add adjusts the gauge by d (use a negative d to decrease).
+//
+//alloyvet:hotpath
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 { return g.v }
+
+// metricKind discriminates registry entries.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindCounterFunc
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// metric is one registered name. Exactly one of the payload fields is
+// set, according to kind.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+
+	counter   *Counter
+	counterFn func() uint64
+	gauge     *Gauge
+	gaugeFn   func() float64
+	hist      *stats.Histogram
+}
+
+// value returns the metric's current scalar reading (histograms report
+// their sample count).
+func (m *metric) value() float64 {
+	switch m.kind {
+	case kindCounter:
+		return float64(m.counter.Value())
+	case kindCounterFunc:
+		return float64(m.counterFn())
+	case kindGauge:
+		return m.gauge.Value()
+	case kindGaugeFunc:
+		return m.gaugeFn()
+	case kindHistogram:
+		return float64(m.hist.N())
+	}
+	return 0
+}
+
+// Registry is the central metric index. Registration happens once at
+// setup and may allocate freely; dumping sorts by name so output is
+// deterministic. The zero Registry is not usable — call NewRegistry.
+type Registry struct {
+	metrics []metric
+	byName  map[string]int // index into metrics, duplicate detection
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]int)}
+}
+
+// register validates and stores one entry. Duplicate or malformed names
+// panic: both are registration-site bugs, not runtime conditions.
+func (r *Registry) register(m metric) {
+	if !validName(m.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", m.name))
+	}
+	if _, dup := r.byName[m.name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", m.name))
+	}
+	r.byName[m.name] = len(r.metrics)
+	r.metrics = append(r.metrics, m)
+}
+
+// validName accepts Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// RegisterCounter exposes an existing hot-path counter field under name.
+func (r *Registry) RegisterCounter(name, help string, c *Counter) {
+	r.register(metric{name: name, help: help, kind: kindCounter, counter: c})
+}
+
+// RegisterCounterFunc exposes a counter read through fn at dump time.
+// This is how components with pre-existing plain stat fields (cache
+// hits, DRAM reads) join the registry without changing their hot paths.
+func (r *Registry) RegisterCounterFunc(name, help string, fn func() uint64) {
+	r.register(metric{name: name, help: help, kind: kindCounterFunc, counterFn: fn})
+}
+
+// RegisterGauge exposes an existing gauge field under name.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge) {
+	r.register(metric{name: name, help: help, kind: kindGauge, gauge: g})
+}
+
+// RegisterGaugeFunc exposes a level read through fn at dump time.
+func (r *Registry) RegisterGaugeFunc(name, help string, fn func() float64) {
+	r.register(metric{name: name, help: help, kind: kindGaugeFunc, gaugeFn: fn})
+}
+
+// RegisterHistogram exposes a stats.Histogram. The registry does not own
+// or copy it: observations keep going through the histogram's own
+// Observe on the hot path.
+func (r *Registry) RegisterHistogram(name, help string, h *stats.Histogram) {
+	r.register(metric{name: name, help: help, kind: kindHistogram, hist: h})
+}
+
+// Counter returns the counter registered under name, creating and
+// registering a fresh one if absent. This is a setup-time convenience:
+// call it once, keep the returned pointer, and increment that on the hot
+// path. The hotpath analyzer flags Registry method calls inside
+// //alloyvet:hotpath functions precisely to keep this lookup cold.
+func (r *Registry) Counter(name, help string) *Counter {
+	if i, ok := r.byName[name]; ok {
+		if r.metrics[i].kind != kindCounter {
+			panic(fmt.Sprintf("obs: metric %q is not a counter", name))
+		}
+		return r.metrics[i].counter
+	}
+	c := &Counter{}
+	r.RegisterCounter(name, help, c)
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating one if absent.
+// Setup-time only, like Counter.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if i, ok := r.byName[name]; ok {
+		if r.metrics[i].kind != kindGauge {
+			panic(fmt.Sprintf("obs: metric %q is not a gauge", name))
+		}
+		return r.metrics[i].gauge
+	}
+	g := &Gauge{}
+	r.RegisterGauge(name, help, g)
+	return g
+}
+
+// Value reads the current value of the named metric (histograms report
+// their count). The bool reports whether the name is registered.
+func (r *Registry) Value(name string) (float64, bool) {
+	i, ok := r.byName[name]
+	if !ok {
+		return 0, false
+	}
+	return r.metrics[i].value(), true
+}
+
+// Names returns all registered metric names in sorted order.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		names = append(names, m.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sorted returns the metrics ordered by name; dump output must not
+// depend on registration order.
+func (r *Registry) sorted() []metric {
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	return ms
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format, sorted by name. Histograms delegate to
+// stats.Histogram.WriteText so the obs layer and the pre-existing
+// latency histograms share one encoder.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.sorted() {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		switch m.kind {
+		case kindCounter, kindCounterFunc:
+			var v uint64
+			if m.kind == kindCounter {
+				v = m.counter.Value()
+			} else {
+				v = m.counterFn()
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, v); err != nil {
+				return err
+			}
+		case kindGauge, kindGaugeFunc:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, m.name, formatFloat(m.value())); err != nil {
+				return err
+			}
+		case kindHistogram:
+			if err := m.hist.WriteText(w, m.name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the metrics as a single flat JSON object in sorted
+// name order (expvar style). Histograms expand into count/mean/max and
+// p50/p95/p99 quantile fields.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("{")
+	first := true
+	field := func(name, val string) {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		fmt.Fprintf(&b, "%q:%s", name, val)
+	}
+	for _, m := range r.sorted() {
+		switch m.kind {
+		case kindCounter, kindCounterFunc:
+			field(m.name, fmt.Sprintf("%d", uint64(m.value())))
+		case kindGauge, kindGaugeFunc:
+			field(m.name, formatFloat(m.value()))
+		case kindHistogram:
+			h := m.hist
+			field(m.name+"_count", fmt.Sprintf("%d", h.N()))
+			field(m.name+"_mean", formatFloat(h.Mean()))
+			field(m.name+"_max", fmt.Sprintf("%d", h.Max()))
+			field(m.name+"_p50", formatFloat(h.Quantile(0.50)))
+			field(m.name+"_p95", formatFloat(h.Quantile(0.95)))
+			field(m.name+"_p99", formatFloat(h.Quantile(0.99)))
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatFloat renders a float compactly and deterministically: integers
+// lose the trailing ".000000", everything else keeps %g's shortest form.
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}

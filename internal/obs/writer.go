@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// SyncWriter serializes whole lines onto a shared stream. The experiment
+// runner's workers emit progress lines concurrently with the final sweep
+// summary; routing both through one SyncWriter guarantees lines never
+// interleave mid-line on stderr.
+//
+// A nil *SyncWriter, and a SyncWriter wrapping a nil writer, are both
+// valid and discard everything — callers don't need an "is progress
+// enabled" branch.
+type SyncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w. A nil w yields a writer that discards output.
+func NewSyncWriter(w io.Writer) *SyncWriter {
+	return &SyncWriter{w: w}
+}
+
+// Write emits p as one atomic write under the lock. Callers should pass
+// complete lines; partial writes from distinct callers are still
+// serialized but may interleave at their boundaries.
+func (s *SyncWriter) Write(p []byte) (int, error) {
+	if s == nil || s.w == nil {
+		return len(p), nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// Printf formats outside the lock and emits the result as one atomic
+// write, so concurrent Printf calls produce whole, unbroken lines.
+func (s *SyncWriter) Printf(format string, args ...interface{}) {
+	if s == nil || s.w == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	io.WriteString(s.w, msg) //nolint:errcheck // progress output is best-effort
+}
+
+// Fprintf writes a formatted line to an arbitrary writer while holding
+// this SyncWriter's lock. It lets output destined for a different stream
+// (a summary on stdout) serialize against the wrapped stream's lines (a
+// progress feed on stderr) — essential when both are the same terminal.
+// A nil receiver degrades to a plain unserialized fmt.Fprintf.
+func (s *SyncWriter) Fprintf(w io.Writer, format string, args ...interface{}) {
+	if w == nil {
+		return
+	}
+	if s == nil {
+		fmt.Fprintf(w, format, args...)
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	io.WriteString(w, msg) //nolint:errcheck // operator output is best-effort
+}

@@ -1,0 +1,13 @@
+package predictor
+
+import "alloysim/internal/obs"
+
+// RegisterMetrics exposes the four Table 5 outcome quadrants and the
+// overall accuracy in reg under the given prefix (e.g. "predictor").
+func (a *Accuracy) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.RegisterCounterFunc(prefix+"_mem_pred_mem_total", "serviced by memory, predicted memory (correct)", func() uint64 { return a.MemPredMem })
+	reg.RegisterCounterFunc(prefix+"_mem_pred_cache_total", "serviced by memory, predicted cache (serialized miss)", func() uint64 { return a.MemPredCache })
+	reg.RegisterCounterFunc(prefix+"_cache_pred_mem_total", "serviced by cache, predicted memory (wasted memory read)", func() uint64 { return a.CachePredMem })
+	reg.RegisterCounterFunc(prefix+"_cache_pred_cache_total", "serviced by cache, predicted cache (correct)", func() uint64 { return a.CachePredCache })
+	reg.RegisterGaugeFunc(prefix+"_accuracy", "fraction of correct hit/miss predictions", func() float64 { return a.Overall() })
+}

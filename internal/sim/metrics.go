@@ -1,0 +1,12 @@
+package sim
+
+import "alloysim/internal/obs"
+
+// RegisterMetrics exposes the engine's progress counters in reg under the
+// given prefix (e.g. "sim_engine"). The event loop itself is untouched:
+// the registry reads these fields only at dump time.
+func (e *Engine) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.RegisterCounterFunc(prefix+"_cycles_total", "current simulated cycle", func() uint64 { return e.now.Count() })
+	reg.RegisterCounterFunc(prefix+"_events_total", "events executed", func() uint64 { return e.nSteps })
+	reg.RegisterGaugeFunc(prefix+"_pending_events", "events waiting to execute", func() float64 { return float64(e.pending) })
+}

@@ -6,6 +6,7 @@ package stats
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strings"
@@ -108,6 +109,69 @@ func (h *Histogram) Percentile(p float64) uint64 {
 		}
 	}
 	return h.max
+}
+
+// Quantile returns an interpolated estimate of the p-th quantile
+// (0 <= p <= 1). Within the bucket containing the target rank the value is
+// interpolated linearly, so unlike Percentile the result is not pinned to
+// bucket edges. Samples beyond the last bucket resolve to the observed
+// maximum. Returns 0 when the histogram is empty; p is clamped to [0, 1].
+func (h *Histogram) Quantile(p float64) float64 {
+	total := h.mean.N()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	var cum uint64
+	for i, b := range h.buckets {
+		if b == 0 {
+			continue
+		}
+		next := cum + b
+		if float64(next) >= rank {
+			lo := float64(uint64(i) * h.width)
+			frac := (rank - float64(cum)) / float64(b)
+			return lo + frac*float64(h.width)
+		}
+		cum = next
+	}
+	return float64(h.max)
+}
+
+// WriteText renders the histogram in the Prometheus text exposition
+// format under the given metric name: cumulative _bucket series with le
+// labels at bucket upper bounds, then _sum and _count. Empty buckets are
+// skipped to keep dumps readable; the +Inf bucket is always present.
+func (h *Histogram) WriteText(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, b := range h.buckets {
+		if b == 0 {
+			continue
+		}
+		cum += b
+		le := (uint64(i) + 1) * h.width
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	cum += h.over
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, h.mean.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.mean.N())
+	return err
 }
 
 // GeoMean returns the geometric mean of positive values; zero or negative

@@ -97,6 +97,61 @@ func TestHistogramPercentile(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 1000)
+	for i := uint64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	// Uniform 1..100 with width-1 buckets: quantiles interpolate to ~100p.
+	for _, tc := range []struct{ p, want float64 }{
+		{0.50, 50}, {0.95, 95}, {0.99, 99}, {1.0, 100},
+	} {
+		got := h.Quantile(tc.p)
+		if math.Abs(got-tc.want) > 1.0 {
+			t.Errorf("Quantile(%v) = %v, want ~%v", tc.p, got, tc.want)
+		}
+	}
+	// Clamping and empty behavior.
+	if h.Quantile(-1) > h.Quantile(0.01) {
+		t.Error("Quantile(-1) not clamped to 0")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Error("Quantile(2) not clamped to 1")
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty Quantile should be 0")
+	}
+
+	// Samples beyond the last bucket resolve to the observed max.
+	small := NewHistogram(10, 2)
+	small.Observe(5)
+	small.Observe(500)
+	if got := small.Quantile(1); got != 500 {
+		t.Errorf("overflow Quantile(1) = %v, want 500", got)
+	}
+}
+
+func TestHistogramWriteText(t *testing.T) {
+	h := NewHistogram(10, 4)
+	for _, v := range []uint64{5, 15, 15, 99} {
+		h.Observe(v) // 99 overflows past 4 buckets of width 10
+	}
+	var b strings.Builder
+	if err := h.WriteText(&b, "lat"); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE lat histogram\n" +
+		"lat_bucket{le=\"10\"} 1\n" +
+		"lat_bucket{le=\"20\"} 3\n" +
+		"lat_bucket{le=\"+Inf\"} 4\n" +
+		"lat_sum 134\n" +
+		"lat_count 4\n"
+	if b.String() != want {
+		t.Fatalf("WriteText:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
 func TestGeoMean(t *testing.T) {
 	got := GeoMean([]float64{1, 4})
 	if math.Abs(got-2) > 1e-9 {

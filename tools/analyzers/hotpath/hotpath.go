@@ -215,6 +215,13 @@ func (c *checker) checkCall(call *ast.CallExpr) {
 			c.report(call.Pos(), "fmt.%s formats and allocates", obj.Name())
 			return // boxing into ...any is implied, don't double-report
 		}
+		// obs.Registry method? Registry lookups hash the metric name and
+		// consult a map — fine at setup, hostile per event. Hot paths must
+		// hoist the *obs.Counter/*obs.Gauge into a struct field instead.
+		if obj, ok := info.Uses[sel.Sel].(*types.Func); ok && isRegistryMethod(obj) {
+			c.report(call.Pos(), "obs.Registry.%s is a registry lookup; hoist the metric into a struct field at setup", obj.Name())
+			return
+		}
 	}
 	// Concrete argument passed to an interface parameter?
 	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
@@ -305,6 +312,26 @@ func (c *checker) parent() ast.Node {
 		return nil
 	}
 	return c.parents[len(c.parents)-1]
+}
+
+// isRegistryMethod reports whether fn is a method of obs.Registry
+// (matched by package name, like the invariants.Enabled idiom, so the
+// analyzer's testdata can provide a stub package).
+func isRegistryMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
 }
 
 func calleeIdent(fun ast.Expr) *ast.Ident {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"testdata/internal/invariants"
+	"testdata/internal/obs"
 )
 
 type counter struct{ n int }
@@ -87,8 +88,24 @@ func Allowed(n int) []byte {
 	return make([]byte, n) //alloyvet:allow(hotpath) cold init path
 }
 
+// Metered consults the metrics registry per event instead of hoisting the
+// counter at setup: a map lookup plus validation on every call.
+//
+//alloyvet:hotpath
+func Metered(r *obs.Registry) {
+	r.Counter("events_total", "events").Inc() // want `obs.Registry.Counter is a registry lookup; hoist the metric into a struct field at setup`
+}
+
+// Hoisted increments a pre-bound counter: the blessed pattern, silent.
+//
+//alloyvet:hotpath
+func Hoisted(c *obs.Counter) {
+	c.Inc()
+}
+
 // Cold is not annotated: the same constructs are legal here.
 func Cold(n int) string {
 	_ = make([]byte, n)
+	_ = (&obs.Registry{}).Counter("setup_total", "registration at setup is fine")
 	return fmt.Sprintf("n=%d", n)
 }

@@ -1,0 +1,12 @@
+// Package obs mirrors the real internal/obs just enough for the hotpath
+// golden tests: the analyzer recognizes Registry lookups by the package
+// name and the Registry type, not by import path.
+package obs
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Inc() { c.v++ }
+
+type Registry struct{ byName map[string]int }
+
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
