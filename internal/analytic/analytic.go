@@ -5,7 +5,10 @@
 // arithmetic the paper uses to frame the latency-versus-hit-rate trade-off.
 package analytic
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // AvgLatency returns the average memory access time for a cache with the
 // given hit rate and hit latency, in front of a memory of unit latency
@@ -14,18 +17,29 @@ func AvgLatency(hitRate, hitLatency float64) float64 {
 	return hitRate*hitLatency + (1 - hitRate)
 }
 
+// breakEvenEps bounds how close latFactor*hitLatency may come to the
+// memory latency (1) before the break-even equation is treated as
+// singular: within it, the optimized cache's hit latency equals memory
+// latency and no hit rate trades one for the other.
+const breakEvenEps = 1e-9
+
 // BreakEvenHitRate answers Figure 1's question: an optimization multiplies
 // hit latency by latFactor; what hit rate must it reach so that average
 // latency equals the base cache's at baseHitRate? Returns the required hit
-// rate and whether it is achievable (<= 1).
+// rate and whether it is achievable (a finite value in [0, 1]).
 func BreakEvenHitRate(baseHitRate, hitLatency, latFactor float64) (float64, bool) {
 	baseAvg := AvgLatency(baseHitRate, hitLatency)
-	// Solve h*f*L + (1-h) = baseAvg for h.
+	// Solve h*f*L + (1-h) = baseAvg for h. A denominator within eps of
+	// zero means hits cost the same as memory: the division would yield
+	// +/-Inf (or NaN at exactly zero), not an achievable hit rate.
 	denom := latFactor*hitLatency - 1
-	if denom == 0 {
+	if math.Abs(denom) < breakEvenEps {
 		return 0, false
 	}
 	h := (baseAvg - 1) / denom
+	if math.IsNaN(h) || math.IsInf(h, 0) {
+		return 0, false
+	}
 	return h, h <= 1 && h >= 0
 }
 
@@ -35,8 +49,17 @@ type Fig1Point struct {
 	AvgLatency float64
 }
 
-// Fig1Curve samples AvgLatency over hit rates 0..1.
+// Fig1Curve samples AvgLatency over hit rates 0..1. Degenerate sample
+// counts are clamped rather than propagated: points <= 0 returns an empty
+// curve and points == 1 returns the single midpoint sample (the i/(points-1)
+// spacing is undefined with one point and would divide by zero).
 func Fig1Curve(hitLatency float64, points int) []Fig1Point {
+	if points <= 0 {
+		return nil
+	}
+	if points == 1 {
+		return []Fig1Point{{HitRate: 0.5, AvgLatency: AvgLatency(0.5, hitLatency)}}
+	}
 	out := make([]Fig1Point, points)
 	for i := range out {
 		h := float64(i) / float64(points-1)

@@ -70,6 +70,54 @@ func TestBreakEvenDegenerate(t *testing.T) {
 	}
 }
 
+func TestBreakEvenNearSingular(t *testing.T) {
+	// Just off the singularity the division produces astronomically large
+	// (or, one ulp away, infinite) hit rates; none are achievable and none
+	// may leak out as ±Inf or NaN.
+	for _, latFactor := range []float64{2 + 1e-13, 2 - 1e-13, 2 + 1e-10, 2 - 1e-10} {
+		h, ok := BreakEvenHitRate(0.5, 0.5, latFactor)
+		if ok {
+			t.Fatalf("near-singular latFactor %v reported achievable (h=%v)", latFactor, h)
+		}
+		if math.IsNaN(h) || math.IsInf(h, 0) {
+			t.Fatalf("near-singular latFactor %v returned non-finite hit rate %v", latFactor, h)
+		}
+	}
+}
+
+func TestBreakEvenRejectsNonFiniteInputs(t *testing.T) {
+	for _, tc := range []struct{ base, lat, factor float64 }{
+		{math.NaN(), 0.5, 1.4},
+		{0.5, math.NaN(), 1.4},
+		{0.5, 0.5, math.NaN()},
+		{0.5, math.Inf(1), 1.4},
+	} {
+		h, ok := BreakEvenHitRate(tc.base, tc.lat, tc.factor)
+		if ok {
+			t.Fatalf("BreakEvenHitRate(%v, %v, %v) reported achievable", tc.base, tc.lat, tc.factor)
+		}
+		if math.IsNaN(h) || math.IsInf(h, 0) {
+			t.Fatalf("BreakEvenHitRate(%v, %v, %v) leaked non-finite %v", tc.base, tc.lat, tc.factor, h)
+		}
+	}
+}
+
+func TestFig1CurveDegeneratePointCounts(t *testing.T) {
+	if c := Fig1Curve(0.1, 0); len(c) != 0 {
+		t.Fatalf("points=0 returned %d samples, want empty", len(c))
+	}
+	if c := Fig1Curve(0.1, -3); len(c) != 0 {
+		t.Fatalf("points=-3 returned %d samples, want empty", len(c))
+	}
+	c := Fig1Curve(0.1, 1)
+	if len(c) != 1 {
+		t.Fatalf("points=1 returned %d samples, want 1", len(c))
+	}
+	if math.IsNaN(c[0].HitRate) || math.IsNaN(c[0].AvgLatency) {
+		t.Fatalf("points=1 sample is NaN: %+v", c[0])
+	}
+}
+
 func TestFig1CurveShape(t *testing.T) {
 	curve := Fig1Curve(0.1, 11)
 	if len(curve) != 11 {

@@ -176,6 +176,12 @@ func (c Config) Validate() error {
 	if c.Scale == 0 {
 		return fmt.Errorf("core: Scale must be positive")
 	}
+	if c.L3Assoc <= 0 {
+		// Zero associativity previously slipped past the capacity check
+		// (its threshold degenerates to zero) and divided by zero in
+		// NewSystem's set-count computation.
+		return fmt.Errorf("core: L3Assoc must be positive, got %d", c.L3Assoc)
+	}
 	if c.Design != DesignNone {
 		if c.DRAMCacheBytes/c.Scale < uint64(c.Stacked.RowBytes) {
 			return fmt.Errorf("core: scaled DRAM cache (%d B) smaller than one row", c.DRAMCacheBytes/c.Scale)

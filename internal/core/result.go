@@ -41,7 +41,12 @@ type Result struct {
 
 	MemReads, MemWrites uint64
 	WastedMemReads      uint64
-	Accuracy            predictor.Accuracy
+	// BelowReads and BelowWrites count the requests that left the L3
+	// downward (read misses and write traffic). They anchor conservation
+	// checks: every below-L3 read is predicted exactly once, so for the
+	// cached designs BelowReads equals Accuracy.Total().
+	BelowReads, BelowWrites uint64
+	Accuracy                predictor.Accuracy
 
 	// MPKI is below-L3 accesses (read misses + writes) per 1000
 	// instructions, the Table 3 metric.
@@ -106,6 +111,8 @@ func (s *System) collect() Result {
 	r.MemReads = r.MemStats.Reads
 	r.MemWrites = r.MemStats.Writes
 	r.WastedMemReads = s.wastedMemReads.Value()
+	r.BelowReads = s.belowReads.Value()
+	r.BelowWrites = s.belowWrites.Value()
 	if instr > 0 {
 		r.MPKI = float64(s.belowReads.Value()+s.belowWrites.Value()) / float64(instr) * 1000
 	}

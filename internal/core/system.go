@@ -90,6 +90,10 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 
 	l3Sets := int(cfg.ScaledL3Bytes()) / memaddr.LineSizeBytes / cfg.L3Assoc
+	if l3Sets <= 0 {
+		return nil, fmt.Errorf("core: config yields %d L3 sets (L3Bytes=%d, Scale=%d, L3Assoc=%d): scaled capacity truncates below one set",
+			l3Sets, cfg.L3Bytes, cfg.Scale, cfg.L3Assoc)
+	}
 	l3Policy := cfg.L3Policy
 	if l3Policy == "" {
 		l3Policy = "dip"
@@ -108,6 +112,10 @@ func NewSystem(cfg Config) (*System, error) {
 			s.l2Lat = 12
 		}
 		l2Sets := int(cfg.L2Bytes/cfg.Scale) / memaddr.LineSizeBytes / assoc
+		if l2Sets <= 0 {
+			return nil, fmt.Errorf("core: config yields %d L2 sets (L2Bytes=%d, Scale=%d, L2Assoc=%d): scaled capacity truncates below one set",
+				l2Sets, cfg.L2Bytes, cfg.Scale, assoc)
+		}
 		for i := 0; i < cfg.Cores; i++ {
 			l2, err := cache.New(cache.Config{Sets: l2Sets, Assoc: assoc, Policy: "lru"})
 			if err != nil {
@@ -137,7 +145,11 @@ func NewSystem(cfg Config) (*System, error) {
 	// One generator per rate-mode copy, at disjoint physical bases.
 	prof, _ := trace.ByName(cfg.Workload)
 	if cfg.GapScale > 1 {
-		prof.GapMean *= cfg.GapScale
+		scaled := uint64(prof.GapMean) * uint64(cfg.GapScale)
+		if scaled > uint64(^uint32(0)) {
+			return nil, fmt.Errorf("core: GapScale %d overflows the %q gap mean %d", cfg.GapScale, cfg.Workload, prof.GapMean)
+		}
+		prof.GapMean = uint32(scaled)
 	}
 	copySpan := memaddr.Line(prof.FootprintLines()/cfg.Scale + uint64(len(prof.Components)) + 1)
 	for i := 0; i < cfg.Cores; i++ {

@@ -43,6 +43,8 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.Predictor = "psychic" },
 		func(c *Config) { c.DRAMCacheBytes = 1024 },
 		func(c *Config) { c.CPU.MLP = 0 },
+		func(c *Config) { c.L3Assoc = 0 },
+		func(c *Config) { c.L3Assoc = -4 },
 	}
 	for i, mutate := range bad {
 		cfg := DefaultConfig("mcf_r")
@@ -536,5 +538,56 @@ func TestConfigFileRoundTrip(t *testing.T) {
 	}
 	if _, err := LoadConfigFile(path + ".missing"); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestNewSystemRejectsZeroL3Assoc(t *testing.T) {
+	// Regression: L3Assoc=0 used to slip past Validate (its capacity
+	// threshold degenerates to zero) and panic with a divide-by-zero in
+	// the set-count computation.
+	cfg := DefaultConfig("mcf_r")
+	cfg.L3Assoc = 0
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("L3Assoc=0 accepted")
+	}
+}
+
+func TestNewSystemRejectsTruncatedL3Sets(t *testing.T) {
+	// A paper-scale capacity beyond MaxInt64 wraps negative through the
+	// int conversion; the guard must name the offending parameters
+	// instead of letting cache construction fail obscurely.
+	cfg := DefaultConfig("mcf_r")
+	cfg.Scale = 1
+	cfg.L3Bytes = 1 << 63
+	cfg.DRAMCacheBytes = 256 << 20
+	_, err := NewSystem(cfg)
+	if err == nil {
+		t.Fatal("truncated L3 set count accepted")
+	}
+	if !strings.Contains(err.Error(), "L3 sets") {
+		t.Fatalf("error does not identify the set-count problem: %v", err)
+	}
+}
+
+func TestNewSystemRejectsGapScaleOverflow(t *testing.T) {
+	cfg := smallConfig("mcf_r", DesignAlloy)
+	cfg.GapScale = ^uint32(0) // mcf gap mean 14 x 2^32-1 wraps uint32
+	_, err := NewSystem(cfg)
+	if err == nil {
+		t.Fatal("overflowing GapScale accepted")
+	}
+	if !strings.Contains(err.Error(), "GapScale") {
+		t.Fatalf("error does not identify GapScale: %v", err)
+	}
+}
+
+func TestResultBelowCounters(t *testing.T) {
+	r := runOne(t, smallConfig("mcf_r", DesignAlloy))
+	if r.BelowReads == 0 || r.BelowWrites == 0 {
+		t.Fatalf("below-L3 counters empty: reads=%d writes=%d", r.BelowReads, r.BelowWrites)
+	}
+	// Every below-L3 read consults the predictor exactly once.
+	if total := r.Accuracy.Total(); total != r.BelowReads {
+		t.Fatalf("predictor saw %d reads, %d went below the L3", total, r.BelowReads)
 	}
 }

@@ -195,17 +195,23 @@ func (r *Runner) Prefetch(ctx context.Context, points []Point) error {
 		par = runtime.NumCPU()
 	}
 	sem := make(chan struct{}, par)
-	errs := make([]error, len(points)+1)
+	errs := make([]error, len(points))
 	var wg sync.WaitGroup
 	for i, pt := range points {
 		i, pt := i, pt
+		// Consult the context before the semaphore: a two-way select would
+		// nondeterministically pick a free slot over an already-cancelled
+		// context. Every point not launched gets its own recorded error, so
+		// callers can tell exactly which simulations never ran.
+		if err := ctx.Err(); err != nil {
+			errs[i] = fmt.Errorf("prefetch %s: skipped: %w", pt, err)
+			continue
+		}
 		select {
 		case sem <- struct{}{}:
 		case <-ctx.Done():
-			errs[len(points)] = fmt.Errorf("prefetch: %w", ctx.Err())
-		}
-		if errs[len(points)] != nil {
-			break
+			errs[i] = fmt.Errorf("prefetch %s: skipped: %w", pt, ctx.Err())
+			continue
 		}
 		wg.Add(1)
 		go func() {

@@ -388,3 +388,86 @@ func TestPointString(t *testing.T) {
 		t.Fatalf("Point.String() = %q, want %q", got, want)
 	}
 }
+
+// TestPrefetchRecordsSkippedPoints: a cancellation must leave a wrapped
+// per-point error for every point that was never launched, not silently
+// drop them from the report.
+func TestPrefetchRecordsSkippedPoints(t *testing.T) {
+	p := microParams()
+	p.Parallelism = 1
+	r := NewRunner(p)
+	var ran atomic.Int32
+	r.simulate = func(ctx context.Context, pt Point) (core.Result, error) {
+		ran.Add(1)
+		return core.Result{}, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: nothing may launch, everything must be reported
+	pts := make([]Point, 5)
+	for i := range pts {
+		pts[i] = Point{Workload: "mcf_r", Design: core.DesignAlloy, CacheMB: uint64(i + 1)}
+	}
+	err := r.Prefetch(ctx, pts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d points simulated under a cancelled context", n)
+	}
+	for _, pt := range pts {
+		if !strings.Contains(err.Error(), pt.String()) {
+			t.Errorf("skipped point %s missing from the joined error", pt)
+		}
+	}
+}
+
+// TestRunWaiterCancellation: a waiter joined onto a leader's in-flight
+// simulation must unblock with its own ctx.Err() when cancelled, while the
+// leader finishes unperturbed and its result still lands in the memo.
+func TestRunWaiterCancellation(t *testing.T) {
+	r := NewRunner(microParams())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	r.simulate = func(ctx context.Context, pt Point) (core.Result, error) {
+		close(started)
+		<-release
+		return core.Result{ExecCycles: 42}, nil
+	}
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := r.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, 0)
+		leaderErr <- err
+	}()
+	<-started
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := r.Run(wctx, "mcf_r", core.DesignAlloy, core.PredDefault, 0)
+		waiterErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second) //alloyvet:allow(determinism) test-harness poll deadline, not simulated time
+	for r.Metrics().FlightJoins == 0 {
+		if time.Now().After(deadline) { //alloyvet:allow(determinism) test-harness poll deadline, not simulated time
+			t.Fatal("waiter never joined the in-flight call")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wcancel()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter returned %v, want Canceled", err)
+	}
+
+	close(release)
+	if err := <-leaderErr; err != nil {
+		t.Fatalf("leader failed after waiter cancellation: %v", err)
+	}
+	res, err := r.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, 0)
+	if err != nil || res.ExecCycles != 42 {
+		t.Fatalf("memoized result after waiter cancellation: %+v, %v", res, err)
+	}
+	if m := r.Metrics(); m.MemoHits != 1 {
+		t.Fatalf("final Run was not a memo hit (hits=%d)", m.MemoHits)
+	}
+}

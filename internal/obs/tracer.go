@@ -215,6 +215,18 @@ func (t *Tracer) eachSpan(fn func(*Span) error) error {
 	return nil
 }
 
+// EachBreakdown visits the retained breakdowns oldest-first, stopping at
+// the first error. External consumers (the validation harness checks the
+// additivity invariant on every retained row) get read access without
+// copying the ring. The *Breakdown argument points into the ring: inspect
+// it during the call, copy it to keep it.
+func (t *Tracer) EachBreakdown(fn func(*Breakdown) error) error {
+	if t == nil {
+		return nil
+	}
+	return t.eachBreakdown(fn)
+}
+
 // eachBreakdown visits retained breakdowns oldest-first.
 func (t *Tracer) eachBreakdown(fn func(*Breakdown) error) error {
 	start := t.brkHead - t.brkLen

@@ -1,0 +1,110 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"alloysim/internal/analytic"
+	"alloysim/internal/core"
+)
+
+// TestExpectedMatchesFig3Breakdowns pins the composition in ExpectedLatency
+// to the published closed form: for the paper's design/predictor pairings
+// the two must agree term for term, or the differential harness would be
+// comparing the simulator against the wrong arithmetic.
+func TestExpectedMatchesFig3Breakdowns(t *testing.T) {
+	timing := analytic.PaperTiming()
+	byName := map[string]analytic.Breakdown{}
+	for _, b := range analytic.Fig3Breakdowns(timing) {
+		byName[b.Design] = b
+	}
+	for pair, name := range figurePairs() {
+		b, ok := byName[name]
+		if !ok {
+			t.Fatalf("no Fig3Breakdowns row named %q", name)
+		}
+		for c, want := range map[Class]float64{
+			ClassHitX: b.HitX, ClassHitY: b.HitY,
+			ClassMissX: b.MissX, ClassMissY: b.MissY,
+		} {
+			got, err := ExpectedLatency(timing, pair, c)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", pair, c, err)
+			}
+			if got != want {
+				t.Errorf("%s/%s: composed %v, Fig3Breakdowns says %v", pair, c, got, want)
+			}
+		}
+	}
+}
+
+// TestFig3ZeroDivergence is the differential gate: every measured cell must
+// equal its closed form exactly, with no tolerance. Any timing change in
+// internal/dram or internal/dramcache that shifts an isolated access by
+// even one cycle fails here.
+func TestFig3ZeroDivergence(t *testing.T) {
+	rows, err := Fig3Diff()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig3Pairs())*len(Classes()) {
+		t.Fatalf("measured %d cells, want %d", len(rows), len(Fig3Pairs())*len(Classes()))
+	}
+	for _, r := range rows {
+		if r.Diverges() {
+			t.Errorf("%s/%s: measured %v, analytic %v", r.Pair, r.Class, r.Measured, r.Expected)
+		}
+	}
+}
+
+// TestFigurePairsCovered: every exact Figure 3 pairing must be part of the
+// measured matrix (the extended pairs are extra, not a substitute).
+func TestFigurePairsCovered(t *testing.T) {
+	measured := map[Pair]bool{}
+	for _, p := range Fig3Pairs() {
+		measured[p] = true
+	}
+	for pair := range figurePairs() {
+		if !measured[pair] {
+			t.Errorf("figure pairing %s missing from Fig3Pairs", pair)
+		}
+	}
+}
+
+func TestExpectedLatencyRejectsUnmodeledInputs(t *testing.T) {
+	timing := analytic.PaperTiming()
+	if _, err := ExpectedLatency(timing, Pair{Design: core.DesignLHRand, Predictor: core.PredPAM}, ClassHitX); err == nil {
+		t.Error("unmodeled design accepted")
+	}
+	if _, err := ExpectedLatency(timing, Pair{Design: core.DesignAlloy, Predictor: "psychic"}, ClassHitX); err == nil {
+		t.Error("unmodeled predictor accepted")
+	}
+}
+
+func TestWriteFig3CountsDivergence(t *testing.T) {
+	rows := []Fig3Row{
+		{Pair: Pair{Design: core.DesignAlloy, Predictor: core.PredPAM}, Class: ClassHitX, Expected: 23, Measured: 23},
+		{Pair: Pair{Design: core.DesignAlloy, Predictor: core.PredPAM}, Class: ClassHitY, Expected: 41, Measured: 43},
+	}
+	var sb strings.Builder
+	n, err := WriteFig3(&sb, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("counted %d diverging rows, want 1", n)
+	}
+	if !strings.Contains(sb.String(), "DIVERGES") {
+		t.Fatal("diverging row not marked in output")
+	}
+}
+
+// TestProbePrimingIsChecked: the harness must refuse to measure when the
+// primed state does not match the class (here: a hit class on the baseline
+// cannot exist, and MeasureLatency must reject a broken configuration
+// rather than report a bogus latency).
+func TestMeasureLatencyRejectsInvalidConfig(t *testing.T) {
+	if _, err := MeasureLatency(Pair{Design: core.DesignNone, Predictor: "psychic"}, ClassMissY); err == nil {
+		t.Error("invalid predictor accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package validate
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"alloysim/internal/core"
+)
+
+// fuzzDesigns and fuzzPredictors index the fuzzed byte selectors into the
+// full design/predictor space, including invalid-on-purpose pairings
+// (Perfect on the baseline must be rejected, not crash).
+func fuzzDesign(b byte) core.Design {
+	ds := core.Designs()
+	return ds[int(b)%len(ds)]
+}
+
+func fuzzPredictor(b byte) core.PredictorKind {
+	pks := []core.PredictorKind{
+		core.PredDefault, core.PredSAM, core.PredPAM,
+		core.PredMAPG, core.PredMAPI, core.PredPerfect, core.PredMissMap,
+	}
+	return pks[int(b)%len(pks)]
+}
+
+// FuzzConfig sweeps core.Config corners: every input must yield either a
+// typed error from NewSystem/Validate or a completed run satisfying the
+// conservation and finiteness invariants — never a panic, NaN, or
+// division by zero. Historical escapes this driver pins: L3Assoc=0
+// reached a divide-by-zero in the set-count computation, huge Scale
+// truncated set counts to zero, and large GapScale wrapped the uint32
+// gap mean.
+func FuzzConfig(f *testing.F) {
+	// Seeds mirror testdata/fuzz/FuzzConfig: the defaults, each historical
+	// escape, and the far corners of every parameter.
+	f.Add(uint64(64), 8, uint64(256), 16, uint32(2), uint64(1), byte(6), byte(0))
+	f.Add(uint64(0), 8, uint64(256), 16, uint32(2), uint64(1), byte(6), byte(0))
+	f.Add(uint64(64), 0, uint64(256), 0, uint32(2), uint64(1), byte(0), byte(5))
+	f.Add(uint64(1<<40), 1, uint64(1), 1, uint32(0), uint64(0), byte(3), byte(6))
+	f.Add(uint64(1), 2, uint64(1<<44), 16, uint32(1<<31), uint64(99), byte(9), byte(4))
+	f.Add(uint64(64), 8, uint64(256), 16, ^uint32(0), uint64(1), byte(6), byte(0))
+	f.Fuzz(func(t *testing.T, scale uint64, cores int, cacheMB uint64, l3assoc int, gapScale uint32, seed uint64, design, pred byte) {
+		cfg := core.DefaultConfig("mcf_r")
+		cfg.Scale = scale
+		cfg.Cores = cores
+		cfg.DRAMCacheBytes = cacheMB << 20 // overflow wrap is a valid corner
+		cfg.L3Assoc = l3assoc
+		cfg.GapScale = gapScale
+		cfg.Seed = seed
+		cfg.Design = fuzzDesign(design)
+		cfg.Predictor = fuzzPredictor(pred)
+		cfg.InstructionsPerCore = 2_000
+		cfg.WarmupRefs = 200
+
+		// Bound resources, not arithmetic: enormous allocations are memory
+		// exhaustion, not the class of bug this driver hunts. Validation
+		// must already have had its chance to reject by the time we skip.
+		if err := cfg.Validate(); err != nil {
+			return // typed rejection is a pass
+		}
+		if cores > 16 || cfg.ScaledCacheBytes() > 64<<20 || cfg.ScaledL3Bytes() > 16<<20 {
+			t.Skip("resource bound")
+		}
+
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return // typed rejection is a pass
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		res, err := sys.RunContext(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				t.Skip("run exceeded the fuzz time bound")
+			}
+			return // typed run error is a pass
+		}
+		for _, v := range CheckResultInvariants(res) {
+			t.Errorf("scale=%d cores=%d cacheMB=%d assoc=%d gap=%d %s/%s: %s",
+				scale, cores, cacheMB, l3assoc, gapScale, cfg.Design, cfg.Predictor, v)
+		}
+	})
+}

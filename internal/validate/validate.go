@@ -1,0 +1,63 @@
+// Package validate cross-checks the cycle-level simulator against the
+// paper's closed-form models. It has three legs, surfaced by cmd/alloycheck
+// and the package tests:
+//
+//   - Differential (fig3.go): single in-flight requests with hand-primed
+//     row-buffer state must match analytic.Fig3Breakdowns cycle-for-cycle,
+//     for every organization, under both the paper's predictor pairings and
+//     the perfect oracle. The simulator and the closed forms encode the
+//     same arithmetic twice; any drift between them is a timing regression.
+//
+//   - Metamorphic (properties.go): full small-scale simulations must obey
+//     the orderings the paper implies (perfect predictor dominates real
+//     ones, IDEAL-LO >= Alloy >= direct-mapped LH, hit rate monotone in
+//     cache size), plus determinism and conservation laws that hold for
+//     every run regardless of configuration.
+//
+//   - Fuzzing (fuzz_test.go): arbitrary core.Config values must yield a
+//     typed error or an invariant-satisfying result - never a panic, NaN,
+//     or division by zero.
+package validate
+
+import (
+	"fmt"
+
+	"alloysim/internal/core"
+)
+
+// Class names one of Figure 3's four isolated-access categories: a DRAM
+// cache hit or miss, with the off-chip row buffer open (X) or closed (Y).
+// For hits the X/Y distinction extends to the stacked row buffer, which is
+// what separates the row-organized designs (Alloy, IDEAL-LO) from the
+// set-per-row ones (SRAM-Tag, LH-Cache).
+type Class string
+
+// The four access classes.
+const (
+	ClassHitX  Class = "hitX"
+	ClassHitY  Class = "hitY"
+	ClassMissX Class = "missX"
+	ClassMissY Class = "missY"
+)
+
+// Classes lists the four access classes in Figure 3 order.
+func Classes() []Class {
+	return []Class{ClassHitX, ClassHitY, ClassMissX, ClassMissY}
+}
+
+func (c Class) isHit() bool  { return c == ClassHitX || c == ClassHitY }
+func (c Class) isOpen() bool { return c == ClassHitX || c == ClassMissX }
+
+// Pair is one (design, predictor) combination under validation.
+type Pair struct {
+	Design    core.Design
+	Predictor core.PredictorKind
+}
+
+func (p Pair) String() string {
+	pk := string(p.Predictor)
+	if pk == "" {
+		pk = "default"
+	}
+	return fmt.Sprintf("%s/%s", p.Design, pk)
+}
