@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"alloysim/internal/dram"
 	"alloysim/internal/dramcache"
 	"alloysim/internal/obs"
@@ -32,6 +34,48 @@ func (s *System) EnableObservability(reg *obs.Registry, trc *obs.Tracer) {
 	reg.RegisterHistogram("hit_latency_cycles", "DRAM-cache hit latency from L3-miss detection", s.hitLatHist)
 	reg.RegisterHistogram("miss_latency_cycles", "DRAM-cache miss latency from L3-miss detection", s.missLatHist)
 	reg.RegisterGaugeFunc("read_latency_mean_cycles", "mean latency of reads serviced below the L3", func() float64 { return s.readLat.Value() })
+	s.registerFrontEndMetrics(reg)
+}
+
+// registerFrontEndMetrics exposes the sharded front-end's per-worker
+// counters. The closures read worker-owned fields, so dump only after the
+// run — which is when the CLIs dump. The series quantify load balance
+// (records per shard) and backpressure (ring-full stalls); none of them
+// feed back into the simulation.
+func (s *System) registerFrontEndMetrics(reg *obs.Registry) {
+	if s.cfg.effectiveShards() <= 1 {
+		return
+	}
+	reg.RegisterCounterFunc("frontend_refs_total", "front-end records produced across shards", func() uint64 {
+		var t uint64
+		for i := range s.frontStats {
+			t += s.frontStats[i].Refs
+		}
+		return t
+	})
+	reg.RegisterCounterFunc("frontend_ring_stalls_total", "pushes deferred on full per-core rings", func() uint64 {
+		var t uint64
+		for i := range s.frontStats {
+			t += s.frontStats[i].Stalls
+		}
+		return t
+	})
+	for i := 0; i < s.cfg.effectiveShards(); i++ {
+		i := i
+		p := fmt.Sprintf("frontend_shard%d", i)
+		reg.RegisterCounterFunc(p+"_refs_total", "front-end records produced by this shard", func() uint64 {
+			if i < len(s.frontStats) {
+				return s.frontStats[i].Refs
+			}
+			return 0
+		})
+		reg.RegisterCounterFunc(p+"_ring_stalls_total", "pushes this shard deferred on full rings", func() uint64 {
+			if i < len(s.frontStats) {
+				return s.frontStats[i].Stalls
+			}
+			return 0
+		})
+	}
 }
 
 // Tracer returns the attached tracer (nil when tracing is off); the CLIs
@@ -51,7 +95,7 @@ func cyclesBetween(a, b sim.Cycle) uint64 {
 
 // dramSpans records the queue/bank/bus/burst segments of one DRAM access
 // as four spans starting from its issue cycle.
-func (s *System) dramSpans(tid uint64, core int32, line uint64, issue sim.Cycle, r dram.Result, queue, bank, bus, burst obs.SpanKind, hit bool) {
+func (s *System) dramSpans(tid uint64, core int32, line uint64, issue sim.Cycle, r *dram.Result, queue, bank, bus, burst obs.SpanKind, hit bool) {
 	s.trc.Span(tid, queue, core, line, issue.Count(), cyclesBetween(issue, r.Start), hit)
 	s.trc.Span(tid, bank, core, line, r.Start.Count(), cyclesBetween(r.Start, r.CASDone), hit)
 	s.trc.Span(tid, bus, core, line, r.CASDone.Count(), cyclesBetween(r.CASDone, r.BusStart), hit)
@@ -61,7 +105,7 @@ func (s *System) dramSpans(tid uint64, core int32, line uint64, issue sim.Cycle,
 // traceMemOnly records the lifecycle of a baseline (no DRAM cache) read:
 // one read span plus the off-chip segments, and a breakdown whose only
 // components are the memory ones.
-func (s *System) traceMemOnly(tid uint64, core int, lineAddr uint64, t0 sim.Cycle, m dram.Result) {
+func (s *System) traceMemOnly(tid uint64, core int, lineAddr uint64, t0 sim.Cycle, m *dram.Result) {
 	c := int32(core)
 	s.trc.Span(tid, obs.SpanRead, c, lineAddr, t0.Count(), cyclesBetween(t0, m.Done), false)
 	s.dramSpans(tid, c, lineAddr, t0, m, obs.SpanMemQueue, obs.SpanMemBank, obs.SpanMemBus, obs.SpanMemBurst, false)
@@ -88,13 +132,13 @@ func (s *System) traceMemOnly(tid uint64, core int, lineAddr uint64, t0 sim.Cycl
 // charged. Other is the exact remainder — tag checks, SRAM lookups, the
 // §5.1 tag-confirmation wait — so every row's components sum to Total.
 func (s *System) traceRead(tid uint64, core int, lineAddr uint64, t0, t1, dataAt, memStart sim.Cycle,
-	predHit bool, res dramcache.AccessResult, m dram.Result, usedMem bool) {
+	predHit bool, res *dramcache.AccessResult, m *dram.Result, usedMem bool) {
 	c := int32(core)
 	total := cyclesBetween(t0, dataAt)
 	s.trc.Span(tid, obs.SpanRead, c, lineAddr, t0.Count(), total, res.Hit)
 	s.trc.Span(tid, obs.SpanPredict, c, lineAddr, t0.Count(), cyclesBetween(t0, t1), res.Hit)
 	if res.Probed {
-		s.dramSpans(tid, c, lineAddr, t1, res.First, obs.SpanDCQueue, obs.SpanDCBank, obs.SpanDCBus, obs.SpanDCBurst, res.Hit)
+		s.dramSpans(tid, c, lineAddr, t1, &res.First, obs.SpanDCQueue, obs.SpanDCBank, obs.SpanDCBus, obs.SpanDCBurst, res.Hit)
 	}
 	if usedMem {
 		s.dramSpans(tid, c, lineAddr, memStart, m, obs.SpanMemQueue, obs.SpanMemBank, obs.SpanMemBus, obs.SpanMemBurst, res.Hit)

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// shardConfig is a fast configuration with a private L2 — the component
+// whose relocation onto front-end workers the sharded mode must not be
+// able to expose.
+func shardConfig(workload string, d Design) Config {
+	cfg := DefaultConfig(workload)
+	cfg.Design = d
+	cfg.InstructionsPerCore = 40_000
+	cfg.WarmupRefs = 3_000
+	cfg.GapScale = 2
+	cfg.L2Bytes = 1 << 20
+	return cfg
+}
+
+// TestShardedFrontEndBitIdentical is the determinism hammer: the same
+// configuration run with every front-end arrangement — serial, and 2, 3, 8
+// and over-provisioned worker counts — must produce a Result identical in
+// every field to the serial reference. This is the property that lets
+// results/ be regenerated with any -shards value.
+func TestShardedFrontEndBitIdentical(t *testing.T) {
+	for _, d := range []Design{DesignAlloy, DesignNone, DesignLH} {
+		cfg := shardConfig("mcf_r", d)
+		ref := runOne(t, cfg)
+		for _, shards := range []int{1, 2, 3, 8, 64} {
+			c := cfg
+			c.Shards = shards
+			got := runOne(t, c)
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("%s shards=%d diverged from serial:\n got %+v\nwant %+v", d, shards, got, ref)
+			}
+		}
+	}
+}
+
+// TestShardedFrontEndNoL2 covers the no-private-L2 configuration, where
+// the front-end reduces to bare trace generation.
+func TestShardedFrontEndNoL2(t *testing.T) {
+	cfg := smallConfig("omnetpp_r", DesignAlloy)
+	cfg.InstructionsPerCore = 40_000
+	ref := runOne(t, cfg)
+	cfg.Shards = 4
+	if got := runOne(t, cfg); !reflect.DeepEqual(got, ref) {
+		t.Fatalf("sharded no-L2 run diverged:\n got %+v\nwant %+v", got, ref)
+	}
+}
+
+// TestShardedCancellation: cancelling a sharded run must terminate the
+// front-end workers (no goroutine leak) and return the context's error.
+func TestShardedCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := shardConfig("mcf_r", DesignAlloy)
+	cfg.Shards = 4
+	cfg.InstructionsPerCore = 50_000_000 // long enough to be mid-run when cancelled
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := s.RunContext(ctx); err != context.Canceled {
+		t.Fatalf("cancelled sharded run returned %v, want context.Canceled", err)
+	}
+	for i := 0; i < 200 && runtime.NumGoroutine() > before; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("front-end workers leaked: %d goroutines before, %d after", before, now)
+	}
+}
+
+func TestEffectiveShardsClamps(t *testing.T) {
+	for _, tc := range []struct{ shards, cores, want int }{
+		{0, 8, 1}, {-3, 8, 1}, {1, 8, 1}, {4, 8, 4}, {8, 8, 8}, {64, 8, 8}, {4, 2, 2},
+	} {
+		c := Config{Shards: tc.shards, Cores: tc.cores}
+		if got := c.effectiveShards(); got != tc.want {
+			t.Errorf("effectiveShards(Shards=%d, Cores=%d) = %d, want %d", tc.shards, tc.cores, got, tc.want)
+		}
+	}
+}
+
+func TestDefaultShardsBounds(t *testing.T) {
+	cfg := DefaultConfig("mcf_r")
+	n := cfg.DefaultShards()
+	if n < 1 || n > runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultShards() = %d, want within [1, GOMAXPROCS=%d]", n, runtime.GOMAXPROCS(0))
+	}
+	if cfg.Stacked.Channels > 0 && n > cfg.Stacked.Channels {
+		t.Fatalf("DefaultShards() = %d exceeds stacked channel count %d", n, cfg.Stacked.Channels)
+	}
+}

@@ -32,7 +32,13 @@ type System struct {
 	mem     *dram.DRAM
 	stacked *dram.DRAM
 	gens    []trace.Generator
+	srcs    []cpu.RefSource // per-core front-ends (see frontend.go)
 	cores   []*cpu.Core
+
+	// frontStats holds per-shard front-end counters in sharded mode
+	// (len == effectiveShards when > 1, nil in serial mode). Operational
+	// only: read by metric dumps after the run.
+	frontStats []frontShardStats
 
 	// Measured statistics (reset after warmup).
 	readLat        stats.Mean       // latency of reads serviced below the L3
@@ -139,25 +145,31 @@ func NewSystem(cfg Config) (*System, error) {
 
 	if cfg.Generators != nil {
 		s.gens = append(s.gens, cfg.Generators...)
-		return s, nil
-	}
-
-	// One generator per rate-mode copy, at disjoint physical bases.
-	prof, _ := trace.ByName(cfg.Workload)
-	if cfg.GapScale > 1 {
-		scaled := uint64(prof.GapMean) * uint64(cfg.GapScale)
-		if scaled > uint64(^uint32(0)) {
-			return nil, fmt.Errorf("core: GapScale %d overflows the %q gap mean %d", cfg.GapScale, cfg.Workload, prof.GapMean)
+	} else {
+		// One generator per rate-mode copy, at disjoint physical bases.
+		prof, _ := trace.ByName(cfg.Workload)
+		if cfg.GapScale > 1 {
+			scaled := uint64(prof.GapMean) * uint64(cfg.GapScale)
+			if scaled > uint64(^uint32(0)) {
+				return nil, fmt.Errorf("core: GapScale %d overflows the %q gap mean %d", cfg.GapScale, cfg.Workload, prof.GapMean)
+			}
+			prof.GapMean = uint32(scaled)
 		}
-		prof.GapMean = uint32(scaled)
-	}
-	copySpan := memaddr.Line(prof.FootprintLines()/cfg.Scale + uint64(len(prof.Components)) + 1)
-	for i := 0; i < cfg.Cores; i++ {
-		g, err := prof.Build(cfg.Seed+uint64(i)*0x9e37, cfg.Scale, memaddr.Line(i)*copySpan)
-		if err != nil {
-			return nil, err
+		copySpan := memaddr.Line(prof.FootprintLines()/cfg.Scale + uint64(len(prof.Components)) + 1)
+		for i := 0; i < cfg.Cores; i++ {
+			g, err := prof.Build(cfg.Seed+uint64(i)*0x9e37, cfg.Scale, memaddr.Line(i)*copySpan)
+			if err != nil {
+				return nil, err
+			}
+			s.gens = append(s.gens, g)
 		}
-		s.gens = append(s.gens, g)
+	}
+	for i, g := range s.gens {
+		var l2 *cache.Cache
+		if s.l2 != nil && i < len(s.l2) {
+			l2 = s.l2[i]
+		}
+		s.srcs = append(s.srcs, &directSource{gen: g, l2: l2})
 	}
 	return s, nil
 }
@@ -188,12 +200,25 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	if shards := s.cfg.effectiveShards(); shards > 1 {
+		// Decoupled front-end: workers precompute the per-core reference
+		// streams while this goroutine replays the shared memory system.
+		// Results are bit-identical to the serial front-end because the
+		// streams are pure functions of each core's own state (frontend.go).
+		s.frontStats = make([]frontShardStats, shards)
+		stop := make(chan struct{}) //alloyvet:allow(confine) blessed entry to the audited front-end runtime
+		wg := s.startFrontEnd(shards, stop)
+		defer func() {
+			close(stop)
+			wg.Wait() //alloyvet:allow(confine) blessed entry to the audited front-end runtime
+		}()
+	}
 	if err := s.warm(ctx); err != nil {
 		return Result{}, err
 	}
 
-	for i, g := range s.gens {
-		c, err := cpu.New(i, s.cfg.CPU, g, s.eng, s, s.cfg.InstructionsPerCore)
+	for i, src := range s.srcs {
+		c, err := cpu.New(i, s.cfg.CPU, src, s.eng, s, s.cfg.InstructionsPerCore)
 		if err != nil {
 			return Result{}, err
 		}
@@ -216,26 +241,23 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 // measurement starts from warm contents and cold clocks. It checks ctx
 // periodically so long warmups cancel as promptly as the measured phase.
 func (s *System) warm(ctx context.Context) error {
+	var wr dramcache.AccessResult // scratch: warmup discards access timing
 	for n := uint64(0); n < s.cfg.WarmupRefs; n++ {
 		if n&0xfff == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
-		for gi, g := range s.gens {
-			ref := g.Next()
-			if s.l2 != nil {
-				if ref.Write {
-					if s.l2[gi].Probe(ref.Line, true) {
-						continue
-					}
-				} else if hit, _ := s.l2[gi].Access(ref.Line, false); hit {
-					continue
-				}
+		for _, src := range s.srcs {
+			ref := src.NextRef()
+			if ref.L2Hit {
+				continue
 			}
+			// ref.L2WB is deliberately ignored: warmup streams contents
+			// only, and an L2 victim writeback installs no new line below.
 			if ref.Write {
 				if !s.l3.Probe(ref.Line, true) && s.org != nil {
-					s.org.Access(0, ref.Line, true)
+					s.org.AccessInto(0, ref.Line, true, &wr)
 				}
 				continue
 			}
@@ -245,17 +267,22 @@ func (s *System) warm(ctx context.Context) error {
 			}
 			if s.org != nil {
 				if ev.Valid && ev.Dirty {
-					s.org.Access(0, ev.Line, true)
+					s.org.AccessInto(0, ev.Line, true, &wr)
 				}
-				s.org.Access(0, ref.Line, false)
+				s.org.AccessInto(0, ref.Line, false, &wr)
 			}
 		}
 	}
 	s.mem.Reset()
 	s.stacked.Reset()
 	s.l3.ResetStats()
-	for _, l2 := range s.l2 {
-		l2.ResetStats()
+	if s.frontStats == nil {
+		// Sharded mode must not touch the L2s from here: they belong to
+		// the front-end workers, which perform the same reset themselves
+		// at each core's warmup boundary (frontProducer.fill).
+		for _, l2 := range s.l2 {
+			l2.ResetStats()
+		}
 	}
 	if s.org != nil {
 		s.org.ResetStats()
@@ -267,25 +294,26 @@ func (s *System) warm(ctx context.Context) error {
 // the data arrives.
 //
 //alloyvet:hotpath
-func (s *System) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line) sim.Cycle {
+func (s *System) Read(now sim.Cycle, core int, ref cpu.FrontRef) sim.Cycle {
 	if s.footprint != nil {
-		s.footprint.Add(line)
+		s.footprint.Add(ref.Line)
 	}
 	if s.l2 != nil {
-		l2Hit, l2Ev := s.l2[core].Access(line, false)
-		if l2Hit {
+		// The private-L2 lookup already happened in the front-end; the
+		// record carries its outcome.
+		if ref.L2Hit {
 			return now + s.l2Lat
 		}
 		now += s.l2Lat // L2 miss detected after its lookup
-		if l2Ev.Valid && l2Ev.Dirty {
+		if ref.L2WB {
 			// Private-L2 dirty victim written into the shared L3.
-			if !s.l3.Probe(l2Ev.Line, true) {
+			if !s.l3.Probe(ref.Victim, true) {
 				issueAt, _ := s.admitWrite(now + s.cfg.L3Latency)
-				s.writeBelow(issueAt, l2Ev.Line)
+				s.writeBelow(issueAt, ref.Victim)
 			}
 		}
 	}
-	hit, ev := s.l3.Access(line, false)
+	hit, ev := s.l3.Access(ref.Line, false)
 	if hit {
 		return now + s.cfg.L3Latency
 	}
@@ -296,7 +324,7 @@ func (s *System) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line) sim
 		s.writeBelow(issueAt, ev.Line)
 	}
 	s.belowReads.Inc()
-	done := s.readBelow(t0, core, pc, line)
+	done := s.readBelow(t0, core, ref.PC, ref.Line)
 	s.readLat.Observe(float64(done - t0))
 	return done
 }
@@ -306,21 +334,21 @@ func (s *System) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line) sim
 // the core until a slot frees.
 //
 //alloyvet:hotpath
-func (s *System) Write(now sim.Cycle, core int, line memaddr.Line) sim.Cycle {
+func (s *System) Write(now sim.Cycle, core int, ref cpu.FrontRef) sim.Cycle {
 	if s.footprint != nil {
-		s.footprint.Add(line)
+		s.footprint.Add(ref.Line)
 	}
 	if s.l2 != nil {
-		if s.l2[core].Probe(line, true) {
+		if ref.L2Hit {
 			return 0
 		}
 		now += s.l2Lat
 	}
-	if s.l3.Probe(line, true) {
+	if s.l3.Probe(ref.Line, true) {
 		return 0
 	}
 	issueAt, stall := s.admitWrite(now + s.cfg.L3Latency)
-	s.writeBelow(issueAt, line)
+	s.writeBelow(issueAt, ref.Line)
 	return stall
 }
 
@@ -368,16 +396,18 @@ func (s *System) noteWrite(done sim.Cycle) {
 func (s *System) readBelow(t0 sim.Cycle, core int, pc uint64, line memaddr.Line) sim.Cycle {
 	tid := s.trc.Sample()
 	if s.org == nil {
-		r := s.mem.AccessLine(t0, line, false)
+		var r dram.Result
+		s.mem.AccessLineInto(t0, line, false, &r)
 		if tid != 0 {
-			s.traceMemOnly(tid, core, uint64(line), t0, r)
+			s.traceMemOnly(tid, core, uint64(line), t0, &r)
 		}
 		return r.Done
 	}
 
 	predHit, predLat := s.pred.Predict(core, pc, line)
 	t1 := t0 + predLat
-	res := s.org.Access(t1, line, false)
+	var res dramcache.AccessResult
+	s.org.AccessInto(t1, line, false, &res)
 
 	var dataAt sim.Cycle
 	var m dram.Result
@@ -389,7 +419,7 @@ func (s *System) readBelow(t0 sim.Cycle, core int, pc uint64, line memaddr.Line)
 			// PAM path on an actual hit: the parallel memory probe is
 			// wasted bandwidth (Table 5's "serviced by cache, predicted
 			// memory" scenario).
-			m = s.mem.AccessLine(t1, line, false)
+			s.mem.AccessLineInto(t1, line, false, &m)
 			usedMem = true
 			s.wastedMemReads.Inc()
 		}
@@ -401,7 +431,7 @@ func (s *System) readBelow(t0 sim.Cycle, core int, pc uint64, line memaddr.Line)
 			// cache-miss detection.
 			memStart = res.TagKnown
 		}
-		m = s.mem.AccessLine(memStart, line, false)
+		s.mem.AccessLineInto(memStart, line, false, &m)
 		usedMem = true
 		dataAt = m.Done
 		if !predHit && !s.auth && res.TagKnown > dataAt {
@@ -421,7 +451,7 @@ func (s *System) readBelow(t0 sim.Cycle, core int, pc uint64, line memaddr.Line)
 		}
 	}
 	if tid != 0 {
-		s.traceRead(tid, core, uint64(line), t0, t1, dataAt, memStart, predHit, res, m, usedMem)
+		s.traceRead(tid, core, uint64(line), t0, t1, dataAt, memStart, predHit, &res, &m, usedMem)
 	}
 	s.pred.Update(core, pc, line, res.Hit)
 	s.acc.Record(predHit, res.Hit)
@@ -433,16 +463,19 @@ func (s *System) readBelow(t0 sim.Cycle, core int, pc uint64, line memaddr.Line)
 func (s *System) writeBelow(t sim.Cycle, line memaddr.Line) {
 	s.belowWrites.Inc()
 	if s.org == nil {
-		r := s.mem.AccessLine(t, line, true)
+		var r dram.Result
+		s.mem.AccessLineInto(t, line, true, &r)
 		s.noteWrite(r.Done)
 		return
 	}
-	res := s.org.Access(t, line, true)
+	var res dramcache.AccessResult
+	s.org.AccessInto(t, line, true, &res)
 	if res.Hit {
 		s.noteWrite(res.DataReady)
 		return
 	}
-	r := s.mem.AccessLine(res.TagKnown, line, true)
+	var r dram.Result
+	s.mem.AccessLineInto(res.TagKnown, line, true, &r)
 	s.noteWrite(r.Done)
 }
 

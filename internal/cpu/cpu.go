@@ -18,6 +18,46 @@ import (
 	"alloysim/internal/trace"
 )
 
+// FrontRef is one reference record emitted by a core's front-end: the
+// trace reference plus the private-L2 outcome. The front-end (trace
+// generation and the private L2) is timing-independent — its state is a
+// pure function of the core's own reference stream, never of simulated
+// time — so FrontRef streams can be produced ahead of the engine, on
+// another goroutine, or inline, without changing a single simulated
+// cycle. That property is what the sharded simulation mode rests on.
+type FrontRef struct {
+	Line   memaddr.Line // referenced line
+	PC     uint64       // address of the memory instruction
+	Victim memaddr.Line // dirty private-L2 victim (valid when L2WB)
+	Gap    uint32       // non-memory instructions since the previous ref
+	Write  bool
+	L2Hit  bool // the private L2 serviced this reference
+	L2WB   bool // the L2 fill evicted a dirty victim needing writeback
+}
+
+// RefSource produces a core's infinite FrontRef stream.
+type RefSource interface {
+	NextRef() FrontRef
+}
+
+// genSource adapts a bare trace.Generator into a RefSource with no
+// private L2: every record misses.
+type genSource struct{ gen trace.Generator }
+
+func (s genSource) NextRef() FrontRef {
+	ref := s.gen.Next()
+	return FrontRef{Line: ref.Line, PC: ref.PC, Gap: ref.Gap, Write: ref.Write}
+}
+
+// SourceFromGenerator wraps a trace generator as a RefSource for systems
+// without private L2s. A nil generator yields a nil source.
+func SourceFromGenerator(gen trace.Generator) RefSource {
+	if gen == nil {
+		return nil
+	}
+	return genSource{gen: gen}
+}
+
 // MemPort is the memory system as seen by a core: it services reads by
 // reporting the data-arrival cycle and absorbs writes.
 type MemPort interface {
@@ -25,12 +65,12 @@ type MemPort interface {
 	// data arrives (>= now). The memory system resolves the whole access
 	// synchronously — timing-wise the future is computed now, and the
 	// core schedules its own completion event at the returned cycle.
-	Read(now sim.Cycle, core int, pc uint64, line memaddr.Line) (done sim.Cycle)
+	Read(now sim.Cycle, core int, ref FrontRef) (done sim.Cycle)
 	// Write issues a store at cycle now. Stores do not block retirement,
 	// but a full downstream write buffer exerts backpressure: a non-zero
 	// return tells the core not to issue further references before that
 	// cycle (store-buffer stall).
-	Write(now sim.Cycle, core int, line memaddr.Line) (stallUntil sim.Cycle)
+	Write(now sim.Cycle, core int, ref FrontRef) (stallUntil sim.Cycle)
 }
 
 // Config sets the core's parameters.
@@ -59,7 +99,7 @@ func (c Config) Validate() error {
 type Core struct {
 	id     int
 	cfg    Config
-	gen    trace.Generator
+	src    RefSource
 	eng    *sim.Engine
 	port   MemPort
 	budget uint64 // instructions to retire
@@ -92,15 +132,16 @@ type completeEvent struct{ c *Core }
 
 func (ev *completeEvent) Fire(now sim.Cycle) { ev.c.readComplete(now) }
 
-// New creates a core that will retire `instructions` instructions.
-func New(id int, cfg Config, gen trace.Generator, eng *sim.Engine, port MemPort, instructions uint64) (*Core, error) {
+// New creates a core that will retire `instructions` instructions,
+// consuming references from src.
+func New(id int, cfg Config, src RefSource, eng *sim.Engine, port MemPort, instructions uint64) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if gen == nil || eng == nil || port == nil {
-		return nil, fmt.Errorf("cpu: nil generator, engine, or port")
+	if src == nil || eng == nil || port == nil {
+		return nil, fmt.Errorf("cpu: nil reference source, engine, or port")
 	}
-	c := &Core{id: id, cfg: cfg, gen: gen, eng: eng, port: port, budget: instructions}
+	c := &Core{id: id, cfg: cfg, src: src, eng: eng, port: port, budget: instructions}
 	c.issueEv.c = c
 	c.completeEv.c = c
 	return c, nil
@@ -143,17 +184,17 @@ func (c *Core) issue(now sim.Cycle) {
 		return
 	}
 
-	ref := c.gen.Next()
+	ref := c.src.NextRef()
 	c.retired += uint64(ref.Gap) + 1
 
 	var writeStall sim.Cycle
 	if ref.Write {
 		c.writes++
-		writeStall = c.port.Write(now, c.id, ref.Line)
+		writeStall = c.port.Write(now, c.id, ref)
 	} else {
 		c.reads++
 		c.outstanding++
-		done := c.port.Read(now, c.id, ref.PC, ref.Line)
+		done := c.port.Read(now, c.id, ref)
 		c.eng.ScheduleHandler(done, &c.completeEv)
 	}
 

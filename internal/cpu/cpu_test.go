@@ -17,8 +17,8 @@ type fakePort struct {
 	maxInFlight int
 }
 
-func (p *fakePort) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line) sim.Cycle {
-	p.reads = append(p.reads, line)
+func (p *fakePort) Read(now sim.Cycle, core int, ref FrontRef) sim.Cycle {
+	p.reads = append(p.reads, ref.Line)
 	p.inFlight++
 	if p.inFlight > p.maxInFlight {
 		p.maxInFlight = p.inFlight
@@ -28,8 +28,8 @@ func (p *fakePort) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line) s
 	return done
 }
 
-func (p *fakePort) Write(now sim.Cycle, core int, line memaddr.Line) sim.Cycle {
-	p.writes = append(p.writes, line)
+func (p *fakePort) Write(now sim.Cycle, core int, ref FrontRef) sim.Cycle {
+	p.writes = append(p.writes, ref.Line)
 	return 0
 }
 
@@ -46,7 +46,7 @@ func run(t *testing.T, cfg Config, p trace.Profile, instr uint64, lat sim.Cycle)
 	t.Helper()
 	eng := sim.NewEngine()
 	port := &fakePort{latency: lat}
-	core, err := New(0, cfg, p.MustBuild(1, 1, 0), eng, port, instr)
+	core, err := New(0, cfg, SourceFromGenerator(p.MustBuild(1, 1, 0)), eng, port, instr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestOutstandingBoundedByMLP(t *testing.T) {
 			}
 		},
 	}
-	core, err := New(0, Config{IPC: 4, MLP: 3}, testProfile(0, 0).MustBuild(1, 1, 0), eng, port, 5000)
+	core, err := New(0, Config{IPC: 4, MLP: 3}, SourceFromGenerator(testProfile(0, 0).MustBuild(1, 1, 0)), eng, port, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,19 +160,19 @@ type trackPort struct {
 	onRead  func(delta int)
 }
 
-func (p *trackPort) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line) sim.Cycle {
+func (p *trackPort) Read(now sim.Cycle, core int, ref FrontRef) sim.Cycle {
 	p.onRead(+1)
 	done := now + p.latency
 	p.eng.Schedule(done, func() { p.onRead(-1) })
 	return done
 }
 
-func (p *trackPort) Write(now sim.Cycle, core int, line memaddr.Line) sim.Cycle { return 0 }
+func (p *trackPort) Write(now sim.Cycle, core int, ref FrontRef) sim.Cycle { return 0 }
 
 func TestFinishCallback(t *testing.T) {
 	eng := sim.NewEngine()
 	port := &fakePort{latency: 10}
-	core, _ := New(3, DefaultConfig(), testProfile(0.2, 5).MustBuild(1, 1, 0), eng, port, 1000)
+	core, _ := New(3, DefaultConfig(), SourceFromGenerator(testProfile(0.2, 5).MustBuild(1, 1, 0)), eng, port, 1000)
 	var finished *Core
 	core.OnFinish(func(c *Core) { finished = c })
 	core.Start()
@@ -201,13 +201,13 @@ func TestWriteBackpressureStallsCore(t *testing.T) {
 	// time must reflect the backpressure.
 	eng := sim.NewEngine()
 	free := &fakePort{latency: 1}
-	coreA, _ := New(0, DefaultConfig(), testProfile(1.0, 0).MustBuild(1, 1, 0), eng, free, 2000)
+	coreA, _ := New(0, DefaultConfig(), SourceFromGenerator(testProfile(1.0, 0).MustBuild(1, 1, 0)), eng, free, 2000)
 	coreA.Start()
 	eng.Run()
 
 	eng2 := sim.NewEngine()
 	stall := &stallPort{stallBy: 500}
-	coreB, _ := New(0, DefaultConfig(), testProfile(1.0, 0).MustBuild(1, 1, 0), eng2, stall, 2000)
+	coreB, _ := New(0, DefaultConfig(), SourceFromGenerator(testProfile(1.0, 0).MustBuild(1, 1, 0)), eng2, stall, 2000)
 	coreB.Start()
 	eng2.Run()
 
@@ -220,10 +220,10 @@ func TestWriteBackpressureStallsCore(t *testing.T) {
 // stallPort pushes back on every write.
 type stallPort struct{ stallBy sim.Cycle }
 
-func (p *stallPort) Read(now sim.Cycle, core int, pc uint64, line memaddr.Line) sim.Cycle {
+func (p *stallPort) Read(now sim.Cycle, core int, ref FrontRef) sim.Cycle {
 	return now + 1
 }
 
-func (p *stallPort) Write(now sim.Cycle, core int, line memaddr.Line) sim.Cycle {
+func (p *stallPort) Write(now sim.Cycle, core int, ref FrontRef) sim.Cycle {
 	return now + p.stallBy
 }

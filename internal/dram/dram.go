@@ -286,7 +286,17 @@ func (d *DRAM) RowOfLine(line memaddr.Line) uint64 {
 
 // AccessLine services a line-granularity request arriving at cycle now.
 func (d *DRAM) AccessLine(now Cycle, line memaddr.Line, write bool) Result {
-	return d.AccessRow(now, d.RowOfLine(line), d.cfg.BurstLine, write)
+	var r Result
+	d.AccessRowInto(now, d.RowOfLine(line), d.cfg.BurstLine, write, &r)
+	return r
+}
+
+// AccessLineInto is AccessLine writing its Result into out, the
+// copy-free form the simulation hot path uses.
+//
+//alloyvet:hotpath
+func (d *DRAM) AccessLineInto(now Cycle, line memaddr.Line, write bool, out *Result) {
+	d.AccessRowInto(now, d.RowOfLine(line), d.cfg.BurstLine, write, out)
 }
 
 // AccessRow services a request for a given global row index with an
@@ -303,6 +313,18 @@ func (d *DRAM) AccessLine(now Cycle, line memaddr.Line, write bool) Result {
 //
 //alloyvet:hotpath
 func (d *DRAM) AccessRow(now Cycle, row uint64, burst Cycle, write bool) Result {
+	var r Result
+	d.AccessRowInto(now, row, burst, write, &r)
+	return r
+}
+
+// AccessRowInto is AccessRow writing its Result into out instead of
+// returning it. Organizations store results directly into the caller's
+// AccessResult.First, which keeps the demand path free of intermediate
+// Result copies.
+//
+//alloyvet:hotpath
+func (d *DRAM) AccessRowInto(now Cycle, row uint64, burst Cycle, write bool, out *Result) {
 	ch, bk, idx := d.bankOf(row)
 	b := &d.banks[idx]
 	c := &d.channels[ch]
@@ -322,7 +344,8 @@ func (d *DRAM) AccessRow(now Cycle, row uint64, burst Cycle, write bool) Result 
 		c.writeReady = done
 		c.busBusy += burst
 		d.stats.BusBusy += burst
-		return Result{Done: done, Start: start, CASDone: casDone, BusStart: casDone, Latency: done - now}
+		*out = Result{Done: done, Start: start, CASDone: casDone, BusStart: casDone, Latency: done - now}
+		return
 	}
 	d.stats.Reads++
 
@@ -390,7 +413,7 @@ func (d *DRAM) AccessRow(now Cycle, row uint64, burst Cycle, write bool) Result 
 	b.ready = bankNext
 	b.lastUse = casDone
 
-	return Result{Done: done, Start: start, CASDone: casDone, BusStart: busStart, RowHit: rowHit, Latency: done - now}
+	*out = Result{Done: done, Start: start, CASDone: casDone, BusStart: busStart, RowHit: rowHit, Latency: done - now}
 }
 
 // refreshAdjust pushes a command start time out of any refresh window.

@@ -122,17 +122,26 @@ func (a *Alloy) checkTAD(line memaddr.Line, set int, row uint64) {
 //
 //alloyvet:hotpath
 func (a *Alloy) Access(now Cycle, line memaddr.Line, write bool) AccessResult {
+	var r AccessResult
+	a.AccessInto(now, line, write, &r)
+	return r
+}
+
+// AccessInto implements Organization; see Access for the flow.
+//
+//alloyvet:hotpath
+func (a *Alloy) AccessInto(now Cycle, line memaddr.Line, write bool, r *AccessResult) {
 	set := a.tags.SetOf(line)
 	row := a.rowOf(set)
 	if invariants.Enabled {
 		a.checkTAD(line, set, row)
 	}
 
-	tad := a.stacked.AccessRow(now, row, a.burst, false)
-	var r AccessResult
-	r.TagKnown = tad.Done + TagCheckCycles
-	r.RowHit = tad.RowHit
-	r.First, r.Probed = tad, true
+	*r = AccessResult{}
+	a.stacked.AccessRowInto(now, row, a.burst, false, &r.First)
+	r.TagKnown = r.First.Done + TagCheckCycles
+	r.RowHit = r.First.RowHit
+	r.Probed = true
 
 	var hit bool
 	var ev cache.Eviction
@@ -140,20 +149,20 @@ func (a *Alloy) Access(now Cycle, line memaddr.Line, write bool) AccessResult {
 		hit = a.tags.Probe(line, true)
 		if hit {
 			// Write the updated data back into the TAD (row is open).
-			wr := a.stacked.AccessRow(r.TagKnown, row, a.stacked.Config().BurstLine, true)
+			var wr dram.Result
+			a.stacked.AccessRowInto(r.TagKnown, row, a.stacked.Config().BurstLine, true, &wr)
 			r.Hit, r.DataReady = true, wr.Done
 		}
 		a.observe(r, now)
-		return r
+		return
 	}
 	hit, ev = a.tags.Access(line, false)
 	if hit {
-		r.Hit, r.DataReady = true, tad.Done
+		r.Hit, r.DataReady = true, r.First.Done
 	} else {
 		r.Victim, r.Allocated = ev, true
 	}
 	a.observe(r, now)
-	return r
 }
 
 // Fill implements Organization: installing a line writes one TAD burst.

@@ -74,6 +74,11 @@ type Organization interface {
 	Name() string
 	// Access performs a demand access arriving at cycle now.
 	Access(now Cycle, line memaddr.Line, write bool) AccessResult
+	// AccessInto is Access writing its result into r (which it resets
+	// first). The simulation hot path uses this form: AccessResult is
+	// large enough that returning it by value costs a measurable copy
+	// per demand access.
+	AccessInto(now Cycle, line memaddr.Line, write bool, r *AccessResult)
 	// Fill models the DRAM traffic of installing a line after its memory
 	// response arrives at cycle now. Contents were already reserved by the
 	// missing Access; Fill only charges the write traffic.
@@ -121,7 +126,7 @@ func (b *base) HitLatencyMean() float64 { return b.hitLat.Value() }
 // observe records the outcome of a demand access.
 //
 //alloyvet:hotpath
-func (b *base) observe(r AccessResult, start Cycle) {
+func (b *base) observe(r *AccessResult, start Cycle) {
 	b.accs.Inc()
 	if r.RowHit {
 		b.rowHits.Inc()

@@ -74,6 +74,15 @@ func (d *IdealLO) rowOf(set int) uint64 { return uint64(set / d.setsPerRow) }
 // transfer exactly one line; misses consume no DRAM-cache bandwidth.
 func (d *IdealLO) Access(now Cycle, line memaddr.Line, write bool) AccessResult {
 	var r AccessResult
+	d.AccessInto(now, line, write, &r)
+	return r
+}
+
+// AccessInto implements Organization; see Access for the flow.
+//
+//alloyvet:hotpath
+func (d *IdealLO) AccessInto(now Cycle, line memaddr.Line, write bool, r *AccessResult) {
+	*r = AccessResult{}
 	r.TagKnown = now
 	set := d.tags.SetOf(line)
 	var hit bool
@@ -84,14 +93,13 @@ func (d *IdealLO) Access(now Cycle, line memaddr.Line, write bool) AccessResult 
 		hit, ev = d.tags.Access(line, false)
 	}
 	if hit {
-		res := d.stacked.AccessRow(now, d.rowOf(set), d.stacked.Config().BurstLine, write)
-		r.Hit, r.DataReady, r.RowHit = true, res.Done, res.RowHit
-		r.First, r.Probed = res, true
+		d.stacked.AccessRowInto(now, d.rowOf(set), d.stacked.Config().BurstLine, write, &r.First)
+		r.Hit, r.DataReady, r.RowHit = true, r.First.Done, r.First.RowHit
+		r.Probed = true
 	} else if !write {
 		r.Victim, r.Allocated = ev, true
 	}
 	d.observe(r, now)
-	return r
 }
 
 // Fill implements Organization: one line write.

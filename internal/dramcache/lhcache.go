@@ -110,17 +110,25 @@ func (c *LHCache) tagBurst() Cycle {
 // read the tag lines first; compound access scheduling then guarantees the
 // data column access hits the open row.
 func (c *LHCache) Access(now Cycle, line memaddr.Line, write bool) AccessResult {
+	var r AccessResult
+	c.AccessInto(now, line, write, &r)
+	return r
+}
+
+// AccessInto implements Organization; see Access for the flow.
+//
+//alloyvet:hotpath
+func (c *LHCache) AccessInto(now Cycle, line memaddr.Line, write bool, r *AccessResult) {
 	cfg := c.stacked.Config()
 	set := c.tags.SetOf(line)
 	row := c.rowOf(set)
 
-	tagRead := c.stacked.AccessRow(now, row, c.tagBurst(), false)
-	tagKnown := tagRead.Done + TagCheckCycles
-
-	var r AccessResult
+	*r = AccessResult{}
+	c.stacked.AccessRowInto(now, row, c.tagBurst(), false, &r.First)
+	tagKnown := r.First.Done + TagCheckCycles
 	r.TagKnown = tagKnown
-	r.RowHit = tagRead.RowHit
-	r.First, r.Probed = tagRead, true
+	r.RowHit = r.First.RowHit
+	r.Probed = true
 
 	var hit bool
 	var ev cache.Eviction
@@ -132,19 +140,20 @@ func (c *LHCache) Access(now Cycle, line memaddr.Line, write bool) AccessResult 
 	if hit {
 		// Compound access scheduling: the row is still open, so the data
 		// access is a guaranteed row-buffer hit (CAS + one line burst).
-		data := c.stacked.AccessRow(tagKnown, row, cfg.BurstLine, write)
+		var data dram.Result
+		c.stacked.AccessRowInto(tagKnown, row, cfg.BurstLine, write, &data)
 		r.Hit, r.DataReady = true, data.Done
 		if c.update {
 			// Replacement-state update (16 B beat), drained at write
 			// priority; it consumes bandwidth and write-buffer capacity
 			// but does not hold the bank against later reads.
-			c.stacked.AccessRow(data.Done, row, 1, true)
+			var upd dram.Result
+			c.stacked.AccessRowInto(data.Done, row, 1, true, &upd)
 		}
 	} else if !write {
 		r.Victim, r.Allocated = ev, true
 	}
 	c.observe(r, now)
-	return r
 }
 
 // Fill implements Organization: installing a line requires reading the tag

@@ -72,31 +72,39 @@ func (s *SRAMTag) rowOf(set int) uint64 { return uint64(set / s.setsPerRow) }
 // SRAMTagLatency cycles; a hit then reads the data line from the stacked
 // DRAM; a read miss allocates and will be filled later.
 func (s *SRAMTag) Access(now Cycle, line memaddr.Line, write bool) AccessResult {
+	var r AccessResult
+	s.AccessInto(now, line, write, &r)
+	return r
+}
+
+// AccessInto implements Organization; see Access for the flow.
+//
+//alloyvet:hotpath
+func (s *SRAMTag) AccessInto(now Cycle, line memaddr.Line, write bool, r *AccessResult) {
 	tagKnown := now + SRAMTagLatency
 	set := s.tags.SetOf(line)
-	var r AccessResult
+	*r = AccessResult{}
 	r.TagKnown = tagKnown
 	if write {
 		// Write: probe only; a hit updates the line in place, a miss is
 		// forwarded to memory without allocating.
 		if s.tags.Probe(line, true) {
-			res := s.stacked.AccessRow(tagKnown, s.rowOf(set), s.stacked.Config().BurstLine, true)
-			r.Hit, r.DataReady, r.RowHit = true, res.Done, res.RowHit
-			r.First, r.Probed = res, true
+			s.stacked.AccessRowInto(tagKnown, s.rowOf(set), s.stacked.Config().BurstLine, true, &r.First)
+			r.Hit, r.DataReady, r.RowHit = true, r.First.Done, r.First.RowHit
+			r.Probed = true
 		}
 		s.observe(r, now)
-		return r
+		return
 	}
 	hit, ev := s.tags.Access(line, false)
 	if hit {
-		res := s.stacked.AccessRow(tagKnown, s.rowOf(set), s.stacked.Config().BurstLine, false)
-		r.Hit, r.DataReady, r.RowHit = true, res.Done, res.RowHit
-		r.First, r.Probed = res, true
+		s.stacked.AccessRowInto(tagKnown, s.rowOf(set), s.stacked.Config().BurstLine, false, &r.First)
+		r.Hit, r.DataReady, r.RowHit = true, r.First.Done, r.First.RowHit
+		r.Probed = true
 	} else {
 		r.Victim, r.Allocated = ev, true
 	}
 	s.observe(r, now)
-	return r
 }
 
 // Fill implements Organization: the SRAM tag update is free; the data

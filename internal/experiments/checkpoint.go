@@ -51,9 +51,10 @@ type checkpointWriter struct {
 }
 
 // fingerprint hashes every Params field that changes simulation results.
-// Parallelism, Progress, Retries, and PointTimeout steer execution, not
-// outcomes, and are deliberately excluded: resuming on a different
-// machine or with different concurrency must still hit the checkpoint.
+// Parallelism, Shards, Progress, Retries, and PointTimeout steer
+// execution, not outcomes, and are deliberately excluded: resuming on a
+// different machine or with different concurrency must still hit the
+// checkpoint.
 func (p Params) fingerprint() string {
 	h := sha256.Sum256([]byte(fmt.Sprintf("ckpt-v%d|scale=%d|instr=%d|warmup=%d|cores=%d|cachemb=%d|gap=%d|seed=%d",
 		checkpointVersion, p.Scale, p.InstructionsPerCore, p.WarmupRefs, p.Cores, p.CacheMB, p.GapScale, p.Seed)))

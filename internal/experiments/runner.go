@@ -51,6 +51,12 @@ type Params struct {
 	// The runner serializes all writes, so any writer is safe even under
 	// concurrent Prefetch.
 	Progress io.Writer
+	// Shards is the per-simulation front-end worker count
+	// (core.Config.Shards): <= 1 runs the serial front-end, larger values
+	// precompute reference streams in parallel. Results are bit-identical
+	// for every value — like Parallelism it steers execution, not
+	// outcomes, and is excluded from the checkpoint fingerprint.
+	Shards int
 }
 
 // DefaultParams returns the scale used for the committed EXPERIMENTS.md
@@ -350,6 +356,7 @@ func (r *Runner) simulatePoint(ctx context.Context, key Point) (core.Result, err
 	cfg.Cores = r.p.Cores
 	cfg.GapScale = r.p.GapScale
 	cfg.Seed = r.p.Seed
+	cfg.Shards = r.p.Shards
 	if key.CacheMB > 0 {
 		cfg.DRAMCacheBytes = key.CacheMB << 20
 	}

@@ -1,0 +1,155 @@
+package obs
+
+import "sort"
+
+// ShardedTracer makes lifecycle tracing usable from a sharded simulation:
+// each worker records into its own private Tracer — no locks, no shared
+// counters, no cross-worker false sharing on the hot path — and the rings
+// are merged into one deterministic view only at export time.
+//
+// Attribution is the point: a span recorded through shard i stays tagged
+// to shard i however the goroutines interleave, and the merged request IDs
+// encode the shard, so two runs of the same simulation export
+// byte-identical files regardless of worker scheduling (each shard's ring
+// is deterministic in its own event order, and the merge rule below is a
+// pure function of ring contents).
+type ShardedTracer struct {
+	shards []*Tracer
+}
+
+// NewShardedTracer builds one Tracer per shard with the given sampling
+// interval and per-shard ring capacity (Tracer defaults apply). sample=0
+// returns nil, the disabled tracer; every method is nil-safe.
+func NewShardedTracer(shards int, sample uint64, capacity int) *ShardedTracer {
+	if sample == 0 || shards <= 0 {
+		return nil
+	}
+	st := &ShardedTracer{shards: make([]*Tracer, shards)}
+	for i := range st.shards {
+		st.shards[i] = NewTracer(sample, capacity)
+	}
+	return st
+}
+
+// Shard returns shard i's private tracer. Only shard i's worker may use
+// it; that confinement is what makes the whole arrangement lock-free.
+func (st *ShardedTracer) Shard(i int) *Tracer {
+	if st == nil {
+		return nil
+	}
+	return st.shards[i]
+}
+
+// Sampled returns the total requests sampled across shards.
+func (st *ShardedTracer) Sampled() uint64 {
+	if st == nil {
+		return 0
+	}
+	var n uint64
+	for _, t := range st.shards {
+		n += t.Sampled()
+	}
+	return n
+}
+
+// Dropped returns total span and breakdown records overwritten across
+// shards.
+func (st *ShardedTracer) Dropped() (spans, breakdowns uint64) {
+	if st == nil {
+		return 0, 0
+	}
+	for _, t := range st.shards {
+		s, b := t.Dropped()
+		spans += s
+		breakdowns += b
+	}
+	return spans, breakdowns
+}
+
+// mergedID maps a shard-local request ID into a single dense space:
+// shard-local IDs are 1-based counters, so (id-1)*shards + shard + 1
+// is collision-free and preserves per-shard ordering.
+func mergedID(id uint64, shard, shards int) uint64 {
+	if id == 0 {
+		return 0
+	}
+	return (id-1)*uint64(shards) + uint64(shard) + 1
+}
+
+// Merged flattens the per-shard rings into one Tracer ordered by
+// (start cycle, shard, per-shard ring position), with request IDs remapped
+// through mergedID so they stay unique. The result is a pure function of
+// the ring contents — export it with the usual Write* methods and the
+// bytes are independent of how the workers were scheduled. Call after the
+// run; the per-shard tracers are left untouched.
+func (st *ShardedTracer) Merged() *Tracer {
+	if st == nil {
+		return nil
+	}
+	n := len(st.shards)
+	type taggedSpan struct {
+		s          Span
+		shard, seq int
+	}
+	type taggedBrk struct {
+		b          Breakdown
+		shard, seq int
+	}
+	var spans []taggedSpan
+	var brks []taggedBrk
+	for i, t := range st.shards {
+		seq := 0
+		_ = t.eachSpan(func(s *Span) error {
+			sp := *s
+			sp.ReqID = mergedID(sp.ReqID, i, n)
+			spans = append(spans, taggedSpan{s: sp, shard: i, seq: seq})
+			seq++
+			return nil
+		})
+		seq = 0
+		_ = t.eachBreakdown(func(b *Breakdown) error {
+			bb := *b
+			bb.ReqID = mergedID(bb.ReqID, i, n)
+			brks = append(brks, taggedBrk{b: bb, shard: i, seq: seq})
+			seq++
+			return nil
+		})
+	}
+	sort.Slice(spans, func(a, b int) bool {
+		x, y := &spans[a], &spans[b]
+		if x.s.Start != y.s.Start {
+			return x.s.Start < y.s.Start
+		}
+		if x.shard != y.shard {
+			return x.shard < y.shard
+		}
+		return x.seq < y.seq
+	})
+	sort.Slice(brks, func(a, b int) bool {
+		x, y := &brks[a], &brks[b]
+		if x.b.Start != y.b.Start {
+			return x.b.Start < y.b.Start
+		}
+		if x.shard != y.shard {
+			return x.shard < y.shard
+		}
+		return x.seq < y.seq
+	})
+	cap := len(spans)
+	if len(brks) > cap {
+		cap = len(brks)
+	}
+	if cap == 0 {
+		cap = 1
+	}
+	out := NewTracer(1, cap)
+	out.next = st.Sampled()
+	for i := range spans {
+		s := &spans[i].s
+		out.Span(s.ReqID, s.Kind, s.Core, s.Line, s.Start, s.Dur, s.Hit)
+	}
+	for i := range brks {
+		out.Record(brks[i].b)
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fillShard records a deterministic stream of spans and breakdowns into
+// one shard's tracer: n sampled requests, each with a read span and a
+// breakdown starting at the given cycle stride.
+func fillShard(t *Tracer, n int, core int32, stride uint64) {
+	for i := 0; i < n; i++ {
+		id := t.Sample()
+		if id == 0 {
+			continue
+		}
+		start := uint64(i) * stride
+		t.Span(id, SpanRead, core, uint64(1000+i), start, 10+uint64(i), i%2 == 0)
+		t.Record(Breakdown{
+			ReqID: id, Core: core, Line: uint64(1000 + i), Start: start,
+			Total: 10 + uint64(i), Pred: 2, Other: 8 + uint64(i), Hit: i%2 == 0,
+		})
+	}
+}
+
+func TestShardedTracerNilAndDisabled(t *testing.T) {
+	if st := NewShardedTracer(4, 0, 16); st != nil {
+		t.Fatal("sample=0 should return the nil (disabled) sharded tracer")
+	}
+	if st := NewShardedTracer(0, 1, 16); st != nil {
+		t.Fatal("shards<=0 should return nil")
+	}
+	var st *ShardedTracer
+	if st.Shard(3) != nil {
+		t.Fatal("nil ShardedTracer.Shard should return the nil tracer")
+	}
+	if st.Sampled() != 0 {
+		t.Fatal("nil Sampled should be 0")
+	}
+	if s, b := st.Dropped(); s != 0 || b != 0 {
+		t.Fatal("nil Dropped should be 0,0")
+	}
+	if st.Merged() != nil {
+		t.Fatal("nil Merged should return nil")
+	}
+	// The nil merged tracer must still export valid (empty) files.
+	var buf bytes.Buffer
+	if err := st.Merged().WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil merged export: %v", err)
+	}
+}
+
+func TestShardedTracerShardIsolation(t *testing.T) {
+	st := NewShardedTracer(3, 1, 64)
+	fillShard(st.Shard(0), 5, 0, 100)
+	if got := st.Shard(1).Sampled(); got != 0 {
+		t.Fatalf("shard 1 sampled %d requests, want 0 (shards must not share counters)", got)
+	}
+	if got := st.Sampled(); got != 5 {
+		t.Fatalf("total sampled = %d, want 5", got)
+	}
+}
+
+func TestShardedTracerMergedIDsUnique(t *testing.T) {
+	const shards, perShard = 3, 7
+	st := NewShardedTracer(shards, 1, 64)
+	for i := 0; i < shards; i++ {
+		fillShard(st.Shard(i), perShard, int32(i), 100)
+	}
+	m := st.Merged()
+	seen := make(map[uint64]bool)
+	err := m.EachBreakdown(func(b *Breakdown) error {
+		if b.ReqID == 0 {
+			t.Fatal("merged breakdown with zero ReqID")
+		}
+		if seen[b.ReqID] {
+			t.Fatalf("duplicate merged ReqID %d", b.ReqID)
+		}
+		seen[b.ReqID] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != shards*perShard {
+		t.Fatalf("merged %d breakdowns, want %d", len(seen), shards*perShard)
+	}
+	if got := m.Sampled(); got != shards*perShard {
+		t.Fatalf("merged Sampled = %d, want %d", got, shards*perShard)
+	}
+}
+
+// TestShardedTracerMergeDeterministic is the point of the type: the
+// merged export bytes depend only on what each shard recorded, not on
+// the order the shards were filled in (a stand-in for worker-scheduling
+// interleavings, which cannot reorder records *within* a shard).
+func TestShardedTracerMergeDeterministic(t *testing.T) {
+	build := func(order []int) (chrome, csv []byte) {
+		st := NewShardedTracer(4, 1, 64)
+		for _, i := range order {
+			// Overlapping Start ranges across shards so the tiebreak
+			// (shard, then within-shard position) actually gets exercised.
+			fillShard(st.Shard(i), 10, int32(i), 50)
+		}
+		m := st.Merged()
+		var cb, vb bytes.Buffer
+		if err := m.WriteChromeTrace(&cb); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WriteBreakdownCSV(&vb); err != nil {
+			t.Fatal(err)
+		}
+		return cb.Bytes(), vb.Bytes()
+	}
+	c1, v1 := build([]int{0, 1, 2, 3})
+	c2, v2 := build([]int{3, 1, 0, 2})
+	if !bytes.Equal(c1, c2) {
+		t.Error("merged Chrome trace depends on shard fill order")
+	}
+	if !bytes.Equal(v1, v2) {
+		t.Error("merged breakdown CSV depends on shard fill order")
+	}
+}
+
+func TestShardedTracerMergeOrdering(t *testing.T) {
+	st := NewShardedTracer(2, 1, 16)
+	// Shard 1 starts earlier in simulated time than shard 0; the merge
+	// must order by Start first, shard index second.
+	fillShard(st.Shard(0), 3, 0, 1000) // starts 0, 1000, 2000
+	fillShard(st.Shard(1), 3, 1, 10)   // starts 0, 10, 20
+	var starts []uint64
+	var cores []int32
+	_ = st.Merged().EachBreakdown(func(b *Breakdown) error {
+		starts = append(starts, b.Start)
+		cores = append(cores, b.Core)
+		return nil
+	})
+	wantStarts := []uint64{0, 0, 10, 20, 1000, 2000}
+	wantCores := []int32{0, 1, 1, 1, 0, 0}
+	for i := range wantStarts {
+		if starts[i] != wantStarts[i] || cores[i] != wantCores[i] {
+			t.Fatalf("merge order[%d] = (start %d, core %d), want (start %d, core %d)",
+				i, starts[i], cores[i], wantStarts[i], wantCores[i])
+		}
+	}
+}
+
+func TestShardedTracerDroppedAggregates(t *testing.T) {
+	st := NewShardedTracer(2, 1, 2) // tiny rings force overwrites
+	fillShard(st.Shard(0), 5, 0, 10)
+	fillShard(st.Shard(1), 4, 1, 10)
+	s, b := st.Dropped()
+	if s != 3+2 || b != 3+2 {
+		t.Fatalf("Dropped = (%d, %d), want (5, 5)", s, b)
+	}
+}

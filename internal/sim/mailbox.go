@@ -1,0 +1,202 @@
+//alloyvet:allow(confine) audited concurrency runtime: the SPSC mailbox is
+// one of the three files allowed to use goroutine machinery in the model
+// cone (DESIGN.md §12); its contract is raced in CI by TestMailboxSPSCStream.
+
+package sim
+
+import (
+	"sync/atomic"
+
+	"alloysim/internal/invariants"
+)
+
+// Mailbox is a fixed-capacity single-producer/single-consumer ring used
+// to pass work between exactly two goroutines without locks or steady-
+// state allocation. The buffer and both notification channels are
+// allocated once at construction; Push/Pop move values in place.
+//
+// The SPSC discipline is a contract, not an enforcement: one goroutine
+// owns the producer side (Push/TryPush/Close), one owns the consumer
+// side (Pop/TryPop). Under -tags invariants each side carries a
+// reentrancy guard that turns a second concurrent producer or consumer
+// into a hard failure instead of silent corruption.
+//
+// Memory ordering: the producer publishes a slot by storing tail with
+// release semantics after writing the element; the consumer acquires
+// tail before reading the element (Go's sync/atomic provides the
+// ordering, and the race detector understands it).
+type Mailbox[T any] struct {
+	buf  []T
+	mask uint64
+
+	head atomic.Uint64 // elements consumed
+	tail atomic.Uint64 // elements produced
+
+	// Cursor caches avoid reloading the other side's atomic on every
+	// operation: the producer re-reads head only when the ring looks
+	// full, the consumer re-reads tail only when it looks empty. Each
+	// cache is written exclusively by its owning side.
+	headCache uint64 // producer-owned stale copy of head
+	tailCache uint64 // consumer-owned stale copy of tail
+
+	closed atomic.Bool
+
+	// notEmpty wakes a blocked consumer, notFull a blocked producer.
+	// Capacity-1 token channels: signaling is lossy but sticky, and both
+	// blocking loops re-check state after every wakeup, so a lost
+	// individual signal cannot be a lost update.
+	notEmpty chan struct{}
+	notFull  chan struct{}
+
+	inPush atomic.Int32 // invariants: producer reentrancy guard
+	inPop  atomic.Int32 // invariants: consumer reentrancy guard
+}
+
+// NewMailbox creates a mailbox holding up to capacity elements.
+// Capacity is rounded up to a power of two (minimum 2).
+func NewMailbox[T any](capacity int) *Mailbox[T] {
+	c := uint64(2)
+	for c < uint64(capacity) {
+		c <<= 1
+	}
+	return &Mailbox[T]{
+		buf:      make([]T, c),
+		mask:     c - 1,
+		notEmpty: make(chan struct{}, 1),
+		notFull:  make(chan struct{}, 1),
+	}
+}
+
+// Cap returns the mailbox capacity.
+func (m *Mailbox[T]) Cap() int { return len(m.buf) }
+
+// Len returns the number of buffered elements. Exact only from the
+// producer or consumer goroutine; a snapshot otherwise.
+func (m *Mailbox[T]) Len() int {
+	return int(m.tail.Load() - m.head.Load())
+}
+
+// Closed reports whether the producer closed the mailbox.
+func (m *Mailbox[T]) Closed() bool { return m.closed.Load() }
+
+//alloyvet:hotpath
+func (m *Mailbox[T]) enterPush() {
+	if invariants.Enabled && m.inPush.Add(1) != 1 {
+		invariants.Failf("sim: concurrent producers on an SPSC mailbox")
+	}
+}
+
+//alloyvet:hotpath
+func (m *Mailbox[T]) exitPush() {
+	if invariants.Enabled {
+		m.inPush.Add(-1)
+	}
+}
+
+//alloyvet:hotpath
+func (m *Mailbox[T]) enterPop() {
+	if invariants.Enabled && m.inPop.Add(1) != 1 {
+		invariants.Failf("sim: concurrent consumers on an SPSC mailbox")
+	}
+}
+
+//alloyvet:hotpath
+func (m *Mailbox[T]) exitPop() {
+	if invariants.Enabled {
+		m.inPop.Add(-1)
+	}
+}
+
+// TryPush appends v if space is available, reporting success. Producer
+// side only; never blocks, never allocates.
+//
+//alloyvet:hotpath
+func (m *Mailbox[T]) TryPush(v T) bool {
+	m.enterPush()
+	t := m.tail.Load()
+	if t-m.headCache == uint64(len(m.buf)) {
+		m.headCache = m.head.Load()
+		if t-m.headCache == uint64(len(m.buf)) {
+			m.exitPush()
+			return false
+		}
+	}
+	m.buf[t&m.mask] = v
+	m.tail.Store(t + 1)
+	select {
+	case m.notEmpty <- struct{}{}:
+	default:
+	}
+	m.exitPush()
+	return true
+}
+
+// Push appends v, blocking while the mailbox is full. It returns false
+// without pushing when done closes first. Producer side only.
+func (m *Mailbox[T]) Push(v T, done <-chan struct{}) bool {
+	for {
+		if m.TryPush(v) {
+			return true
+		}
+		select {
+		case <-m.notFull:
+		case <-done:
+			return false
+		}
+	}
+}
+
+// TryPop moves the oldest element into out, reporting success. Consumer
+// side only; never blocks, never allocates.
+//
+//alloyvet:hotpath
+func (m *Mailbox[T]) TryPop(out *T) bool {
+	m.enterPop()
+	h := m.head.Load()
+	if h == m.tailCache {
+		m.tailCache = m.tail.Load()
+		if h == m.tailCache {
+			m.exitPop()
+			return false
+		}
+	}
+	*out = m.buf[h&m.mask]
+	m.head.Store(h + 1)
+	select {
+	case m.notFull <- struct{}{}:
+	default:
+	}
+	m.exitPop()
+	return true
+}
+
+// Pop moves the oldest element into out, blocking while the mailbox is
+// empty. It returns false when the mailbox is closed and drained, or
+// when done closes first. Consumer side only.
+func (m *Mailbox[T]) Pop(out *T, done <-chan struct{}) bool {
+	for {
+		if m.TryPop(out) {
+			return true
+		}
+		if m.closed.Load() {
+			// Re-check after observing closed: the close happens after
+			// the producer's final push.
+			return m.TryPop(out)
+		}
+		select {
+		case <-m.notEmpty:
+		case <-done:
+			return false
+		}
+	}
+}
+
+// Close marks the end of the stream. Pop returns false once the buffer
+// drains. Producer side only.
+func (m *Mailbox[T]) Close() {
+	m.closed.Store(true)
+	select {
+	case m.notEmpty <- struct{}{}:
+	default:
+	}
+}

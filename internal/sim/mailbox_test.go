@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestMailboxFIFO(t *testing.T) {
+	m := NewMailbox[int](4)
+	if m.Cap() != 4 {
+		t.Fatalf("Cap() = %d, want 4", m.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		if !m.TryPush(i) {
+			t.Fatalf("TryPush(%d) failed below capacity", i)
+		}
+	}
+	if m.TryPush(99) {
+		t.Fatal("TryPush succeeded on a full mailbox")
+	}
+	if m.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", m.Len())
+	}
+	for i := 0; i < 4; i++ {
+		var v int
+		if !m.TryPop(&v) {
+			t.Fatalf("TryPop %d failed on a non-empty mailbox", i)
+		}
+		if v != i {
+			t.Fatalf("popped %d, want %d (FIFO order)", v, i)
+		}
+	}
+	var v int
+	if m.TryPop(&v) {
+		t.Fatal("TryPop succeeded on an empty mailbox")
+	}
+}
+
+func TestMailboxCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {100, 128},
+	} {
+		if got := NewMailbox[byte](tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewMailbox(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestMailboxWrapAround(t *testing.T) {
+	m := NewMailbox[int](2)
+	var v int
+	for i := 0; i < 1000; i++ {
+		if !m.TryPush(i) {
+			t.Fatalf("push %d failed", i)
+		}
+		if !m.TryPop(&v) || v != i {
+			t.Fatalf("pop %d got %d", i, v)
+		}
+	}
+}
+
+// TestMailboxSPSCStream drives a full producer/consumer pair across
+// goroutines; under -race this doubles as the memory-ordering check for
+// the cursor-cached fast paths.
+func TestMailboxSPSCStream(t *testing.T) {
+	const n = 100000
+	m := NewMailbox[uint64](8)
+	done := make(chan struct{})
+	go func() {
+		for i := uint64(0); i < n; i++ {
+			if !m.Push(i, done) {
+				return
+			}
+		}
+		m.Close()
+	}()
+	var v uint64
+	for i := uint64(0); i < n; i++ {
+		if !m.Pop(&v, done) {
+			t.Fatalf("stream ended early at %d", i)
+		}
+		if v != i {
+			t.Fatalf("popped %d, want %d", v, i)
+		}
+	}
+	if m.Pop(&v, done) {
+		t.Fatal("Pop succeeded after the producer closed and drained")
+	}
+	if !m.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+}
+
+func TestMailboxPopAfterCloseDrains(t *testing.T) {
+	m := NewMailbox[int](4)
+	m.TryPush(1)
+	m.TryPush(2)
+	m.Close()
+	done := make(chan struct{})
+	var v int
+	for want := 1; want <= 2; want++ {
+		if !m.Pop(&v, done) || v != want {
+			t.Fatalf("Pop after close got (%d), want %d", v, want)
+		}
+	}
+	if m.Pop(&v, done) {
+		t.Fatal("Pop succeeded on a closed, drained mailbox")
+	}
+}
+
+func TestMailboxDoneCancelsBlockedOps(t *testing.T) {
+	m := NewMailbox[int](2)
+	done := make(chan struct{})
+	close(done)
+
+	// Empty mailbox: Pop must return false instead of blocking.
+	var v int
+	if m.Pop(&v, done) {
+		t.Fatal("Pop returned true with done closed and mailbox empty")
+	}
+
+	// Full mailbox: Push must return false instead of blocking.
+	m.TryPush(1)
+	m.TryPush(2)
+	if m.Push(3, done) {
+		t.Fatal("Push returned true with done closed and mailbox full")
+	}
+}
+
+func TestMailboxTryOpsDoNotAllocate(t *testing.T) {
+	m := NewMailbox[xmsg](64)
+	var out xmsg
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.TryPush(xmsg{at: 1, seq: 2})
+		m.TryPop(&out)
+	})
+	if allocs != 0 {
+		t.Fatalf("TryPush/TryPop allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,397 @@
+//alloyvet:allow(confine) audited concurrency runtime: the epoch barrier is
+// one of the three files allowed to use goroutine machinery in the model
+// cone (DESIGN.md §12); determinism is proven by the (cycle, shard, seq)
+// merge and checked by the shard determinism tests under -race.
+
+package sim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"alloysim/internal/invariants"
+	"alloysim/internal/obs"
+)
+
+// ShardGroup runs N engines in lockstep cycle quanta (epochs). Each shard
+// owns one Engine and the model state partitioned onto it; within an epoch
+// shards execute independently, and all cross-shard interaction is deferred
+// to the epoch barrier.
+//
+// The protocol per epoch k (cycles [k*quantum, (k+1)*quantum)):
+//
+//  1. The coordinator publishes the epoch's inclusive limit and releases
+//     every shard worker, which calls Engine.RunUntil(limit). Events exactly
+//     on the quantum boundary (k+1)*quantum belong to the NEXT epoch.
+//  2. During the epoch a shard may Send events to any shard, but only at
+//     cycles at or beyond the next epoch's start — one quantum of lookahead.
+//     Sends land in preallocated per-(from,to) SPSC mailboxes; a full ring
+//     spills to a slice (slow path, counted) so a Send can never block.
+//  3. At the barrier the coordinator drains every mailbox and, per
+//     destination, merges the messages in (cycle, from-shard, sequence)
+//     order before scheduling them. The merge key is independent of
+//     goroutine timing, so the schedule each engine sees — and therefore
+//     every simulated outcome — is bit-identical run to run regardless of
+//     how the workers interleave.
+//  4. If every shard's next pending event lies beyond the next epoch, the
+//     group fast-forwards: the next epoch starts at the earliest pending
+//     cycle's quantum, skipping empty epochs entirely.
+//
+// Determinism across *shard counts* additionally requires that the model's
+// partitioning be exact — shards share no mutable state outside Send. The
+// alloyvet confinement analyzer checks that statically; the invariants
+// build checks the merge order dynamically.
+type ShardGroup struct {
+	quantum Cycle
+	engines []*Engine
+
+	boxes [][]*Mailbox[xmsg] // [from][to] cross-shard rings
+	spill [][][]xmsg         // [from][to] overflow, worker-owned during the epoch
+	limit []Cycle            // per-shard inclusive epoch limit; written by the
+	// coordinator before releasing the shard's worker, read by Send on it
+	seq []uint64 // per-shard send sequence, worker-owned
+
+	workCh []chan Cycle // per-shard epoch release (also carries shutdown via close)
+	doneCh chan int     // epoch completions, capacity len(engines)
+
+	scratch []xmsg // barrier merge buffer, reused across epochs
+
+	epochs       uint64
+	fastForwards uint64
+	epochNs      int64 // wall time inside epochs, coordinator-measured
+	shardStats   []shardCounters
+}
+
+// xmsg is one cross-shard event in flight: fire h at cycle at on the
+// destination engine. (from, seq) identify the message uniquely and order
+// same-cycle deliveries deterministically.
+type xmsg struct {
+	at   Cycle
+	seq  uint64
+	from int32
+	h    Handler
+}
+
+// shardCounters is one shard's mutable statistics. Sends, Overflows and
+// BusyNs are written only by the shard's worker during an epoch; Recvs only
+// by the coordinator during a barrier. The two phases are separated by the
+// workCh/doneCh synchronization, so no field is ever written concurrently.
+type shardCounters struct {
+	Sends     uint64
+	Recvs     uint64
+	Overflows uint64
+	BusyNs    int64
+}
+
+// ShardStats is one shard's statistics snapshot.
+type ShardStats struct {
+	Events    uint64 // engine events executed
+	Sends     uint64 // cross-shard messages sent
+	Recvs     uint64 // cross-shard messages delivered
+	Overflows uint64 // sends that missed the ring and took the spill path
+	BusyNs    int64  // wall time executing epochs
+	WaitNs    int64  // wall time idle at barriers (epoch wall minus busy)
+}
+
+// GroupStats is a snapshot of a group's execution statistics. All wall-time
+// fields are operational diagnostics — nothing simulated depends on them.
+type GroupStats struct {
+	Epochs       uint64
+	FastForwards uint64 // barriers that skipped at least one empty epoch
+	EpochNs      int64  // total wall time inside epochs
+	Shards       []ShardStats
+}
+
+// NewShardGroup creates a group of `shards` engines exchanging events at
+// `quantum`-cycle barriers, with cross-shard rings holding mailboxCap
+// messages per (from, to) pair before spilling.
+func NewShardGroup(shards int, quantum Cycle, mailboxCap int) (*ShardGroup, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("sim: shard count must be at least 1, got %d", shards)
+	}
+	if quantum < 1 {
+		return nil, fmt.Errorf("sim: quantum must be at least 1 cycle, got %d", quantum)
+	}
+	if mailboxCap < 1 {
+		return nil, fmt.Errorf("sim: mailbox capacity must be at least 1, got %d", mailboxCap)
+	}
+	g := &ShardGroup{
+		quantum:    quantum,
+		engines:    make([]*Engine, shards),
+		boxes:      make([][]*Mailbox[xmsg], shards),
+		spill:      make([][][]xmsg, shards),
+		limit:      make([]Cycle, shards),
+		seq:        make([]uint64, shards),
+		workCh:     make([]chan Cycle, shards),
+		doneCh:     make(chan int, shards),
+		scratch:    make([]xmsg, 0, shards*mailboxCap),
+		shardStats: make([]shardCounters, shards),
+	}
+	for i := range g.engines {
+		g.engines[i] = NewEngine()
+		g.boxes[i] = make([]*Mailbox[xmsg], shards)
+		g.spill[i] = make([][]xmsg, shards)
+		for j := range g.boxes[i] {
+			g.boxes[i][j] = NewMailbox[xmsg](mailboxCap)
+		}
+	}
+	return g, nil
+}
+
+// Shards returns the number of shards.
+func (g *ShardGroup) Shards() int { return len(g.engines) }
+
+// Quantum returns the epoch length in cycles.
+func (g *ShardGroup) Quantum() Cycle { return g.quantum }
+
+// Engine returns shard i's engine, for scheduling the model's initial
+// events before Run and inspecting state after.
+func (g *ShardGroup) Engine(i int) *Engine { return g.engines[i] }
+
+// Send schedules h at cycle at on shard to's engine, callable from shard
+// from's worker during an epoch. The target cycle must lie at or beyond the
+// next epoch's start — cross-shard events need one quantum of lookahead, and
+// violating that is a model bug that would silently diverge from the serial
+// schedule, so it panics in every build mode.
+//
+//alloyvet:hotpath
+func (g *ShardGroup) Send(from, to int, at Cycle, h Handler) {
+	if from < 0 || from >= len(g.engines) || to < 0 || to >= len(g.engines) {
+		//alloyvet:allow(hotpath) cold branch: a wiring bug aborts the run
+		panic(fmt.Sprintf("sim: cross-shard send %d->%d outside [0,%d)", from, to, len(g.engines)))
+	}
+	if at <= g.limit[from] {
+		//alloyvet:allow(hotpath) cold branch: a lookahead violation aborts the run
+		panic(fmt.Sprintf("sim: cross-shard event at cycle %d within the current epoch (limit %d); shard models need one quantum of lookahead", at, g.limit[from]))
+	}
+	g.seq[from]++
+	m := xmsg{at: at, seq: g.seq[from], from: int32(from), h: h}
+	if !g.boxes[from][to].TryPush(m) {
+		// Ring full: spill so the worker never blocks mid-epoch. The spill
+		// slice is worker-owned until the barrier and reused after draining,
+		// so even this path stops allocating once it has grown.
+		//alloyvet:allow(hotpath) amortized slow path, reused after each drain
+		g.spill[from][to] = append(g.spill[from][to], m)
+		g.shardStats[from].Overflows++
+	}
+	g.shardStats[from].Sends++
+}
+
+// Run executes the group on one worker goroutine per shard until every
+// engine drains or ctx is cancelled. Cancellation is honored at epoch
+// barriers: in-flight epochs (bounded by the quantum) complete first, every
+// worker exits before Run returns, and the group's state is left at a
+// consistent barrier so a later Run can resume it.
+func (g *ShardGroup) Run(ctx context.Context) error {
+	return g.run(ctx, true)
+}
+
+// RunSerial executes the identical barrier protocol with every epoch run on
+// the calling goroutine, shard by shard in index order. It is the reference
+// implementation the determinism tests compare Run against.
+func (g *ShardGroup) RunSerial(ctx context.Context) error {
+	return g.run(ctx, false)
+}
+
+func (g *ShardGroup) run(ctx context.Context, concurrent bool) error {
+	n := len(g.engines)
+	if concurrent {
+		for i := 0; i < n; i++ {
+			g.workCh[i] = make(chan Cycle)
+			go g.worker(i)
+		}
+		defer func() {
+			for i := 0; i < n; i++ {
+				close(g.workCh[i])
+			}
+		}()
+	}
+
+	start, ok := g.earliest()
+	if !ok {
+		return ctx.Err()
+	}
+	epoch := start / g.quantum
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := (epoch+1)*g.quantum - 1
+		t0 := time.Now() //alloyvet:allow(determinism) wall clock feeds operational stats only
+		if concurrent {
+			for i := 0; i < n; i++ {
+				g.limit[i] = end
+				g.workCh[i] <- end
+			}
+			for i := 0; i < n; i++ {
+				<-g.doneCh
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				g.limit[i] = end
+				g.runShard(i, end)
+			}
+		}
+		g.epochNs += time.Since(t0).Nanoseconds() //alloyvet:allow(determinism) wall clock feeds operational stats only
+		g.epochs++
+		g.drain(end)
+
+		next, ok := g.earliest()
+		if !ok {
+			return ctx.Err()
+		}
+		nextEpoch := next / g.quantum
+		if invariants.Enabled && nextEpoch <= epoch {
+			invariants.Failf("sim: epoch did not advance (%d -> %d); events below the barrier survived it", epoch, nextEpoch)
+		}
+		if nextEpoch > epoch+1 {
+			g.fastForwards++ // empty epochs between: fast-forward over them
+		}
+		epoch = nextEpoch
+	}
+}
+
+// worker is one shard's goroutine: it runs epochs on demand until its work
+// channel closes. The channel receive/doneCh send pair orders every epoch
+// against the coordinator's barrier work on both sides.
+func (g *ShardGroup) worker(i int) {
+	for limit := range g.workCh[i] {
+		g.runShard(i, limit)
+		g.doneCh <- i
+	}
+}
+
+func (g *ShardGroup) runShard(i int, limit Cycle) {
+	t0 := time.Now() //alloyvet:allow(determinism) wall clock feeds operational stats only
+	g.engines[i].RunUntil(limit)
+	g.shardStats[i].BusyNs += time.Since(t0).Nanoseconds() //alloyvet:allow(determinism) wall clock feeds operational stats only
+}
+
+// drain runs at the barrier ending the epoch whose inclusive limit was end:
+// it moves every in-flight cross-shard message onto its destination engine,
+// per destination in (cycle, from-shard, sequence) order. Scheduling in
+// sorted order is what pins the destination engine's same-cycle FIFO order,
+// and the sort key never depends on which worker ran first — this loop is
+// the group's entire determinism argument.
+func (g *ShardGroup) drain(end Cycle) {
+	n := len(g.engines)
+	for to := 0; to < n; to++ {
+		s := g.scratch[:0]
+		for from := 0; from < n; from++ {
+			box := g.boxes[from][to]
+			var m xmsg
+			for box.TryPop(&m) {
+				s = append(s, m)
+			}
+			if sp := g.spill[from][to]; len(sp) > 0 {
+				s = append(s, sp...)
+				g.spill[from][to] = sp[:0]
+			}
+		}
+		sortMsgs(s)
+		for k := range s {
+			m := &s[k]
+			if invariants.Enabled {
+				if m.at <= end {
+					invariants.Failf("sim: cross-shard message for cycle %d arrived at the barrier ending %d", m.at, end)
+				}
+				if k > 0 && !msgLess(&s[k-1], m) {
+					invariants.Failf("sim: barrier merge order not strictly increasing at index %d", k)
+				}
+			}
+			g.engines[to].ScheduleHandler(m.at, m.h)
+		}
+		g.shardStats[to].Recvs += uint64(len(s))
+		g.scratch = s[:0] // keep any grown capacity for the next barrier
+	}
+}
+
+// earliest returns the earliest pending cycle across all engines.
+func (g *ShardGroup) earliest() (Cycle, bool) {
+	var best Cycle
+	ok := false
+	for _, e := range g.engines {
+		if at, has := e.peekAt(); has && (!ok || at < best) {
+			best, ok = at, true
+		}
+	}
+	return best, ok
+}
+
+// msgLess orders cross-shard messages by (cycle, from-shard, sequence).
+func msgLess(a, b *xmsg) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.from != b.from {
+		return a.from < b.from
+	}
+	return a.seq < b.seq
+}
+
+// sortMsgs sorts messages by msgLess. Insertion sort: the input is a
+// concatenation of per-sender runs already ordered by sequence, barrier
+// batches are small, and unlike sort.Slice it allocates nothing.
+func sortMsgs(s []xmsg) {
+	for i := 1; i < len(s); i++ {
+		m := s[i]
+		j := i - 1
+		for j >= 0 && msgLess(&m, &s[j]) {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = m
+	}
+}
+
+// Stats returns a snapshot of the group's execution statistics. Call it
+// between runs, not while Run is executing.
+func (g *ShardGroup) Stats() GroupStats {
+	st := GroupStats{
+		Epochs:       g.epochs,
+		FastForwards: g.fastForwards,
+		EpochNs:      g.epochNs,
+		Shards:       make([]ShardStats, len(g.engines)),
+	}
+	for i := range st.Shards {
+		c := g.shardStats[i]
+		s := ShardStats{
+			Events:    g.engines[i].Steps(),
+			Sends:     c.Sends,
+			Recvs:     c.Recvs,
+			Overflows: c.Overflows,
+			BusyNs:    c.BusyNs,
+		}
+		if st.EpochNs > c.BusyNs {
+			s.WaitNs = st.EpochNs - c.BusyNs
+		}
+		st.Shards[i] = s
+	}
+	return st
+}
+
+// RegisterMetrics exposes the group's barrier statistics in reg under the
+// given prefix: epoch counts group-wide plus per-shard event/send/barrier-
+// wait series. All of it is operational — read at dump time, never fed back
+// into the simulation.
+func (g *ShardGroup) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.RegisterCounterFunc(prefix+"_epochs_total", "epoch barriers executed", func() uint64 { return g.epochs })
+	reg.RegisterCounterFunc(prefix+"_fast_forwards_total", "barriers that skipped empty epochs", func() uint64 { return g.fastForwards })
+	reg.RegisterGaugeFunc(prefix+"_epoch_wall_seconds", "wall time inside epochs", func() float64 { return float64(g.epochNs) / 1e9 })
+	for i := range g.engines {
+		i := i
+		p := fmt.Sprintf("%s_shard%d", prefix, i)
+		reg.RegisterCounterFunc(p+"_events_total", "engine events executed by this shard", func() uint64 { return g.engines[i].Steps() })
+		reg.RegisterCounterFunc(p+"_sends_total", "cross-shard messages sent by this shard", func() uint64 { return g.shardStats[i].Sends })
+		reg.RegisterCounterFunc(p+"_recvs_total", "cross-shard messages delivered to this shard", func() uint64 { return g.shardStats[i].Recvs })
+		reg.RegisterCounterFunc(p+"_spills_total", "sends that overflowed the ring", func() uint64 { return g.shardStats[i].Overflows })
+		reg.RegisterGaugeFunc(p+"_barrier_wait_seconds", "wall time this shard idled at barriers", func() float64 {
+			st := g.epochNs - g.shardStats[i].BusyNs
+			if st < 0 {
+				st = 0
+			}
+			return float64(st) / 1e9
+		})
+	}
+}

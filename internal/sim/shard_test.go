@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// --- ping-pong model: two handlers bouncing one event between shards ---
+
+type pongNode struct {
+	g        *ShardGroup
+	me       int
+	peer     *pongNode
+	hops     *int // sends remaining, shared by both ends
+	log      []Cycle
+	cancel   context.CancelFunc // when set, fires after cancelAt sends
+	cancelAt int
+}
+
+func (p *pongNode) Fire(now Cycle) {
+	p.log = append(p.log, now)
+	if p.cancel != nil && len(p.log) == p.cancelAt {
+		p.cancel()
+	}
+	if *p.hops == 0 {
+		return
+	}
+	*p.hops--
+	p.g.Send(p.me, p.peer.me, now+p.g.Quantum(), p.peer)
+}
+
+func newPingPong(t *testing.T, hops int, quantum Cycle) (*ShardGroup, *pongNode, *pongNode) {
+	t.Helper()
+	g, err := NewShardGroup(2, quantum, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := hops
+	a := &pongNode{g: g, me: 0, hops: &budget}
+	b := &pongNode{g: g, me: 1, hops: &budget}
+	a.peer, b.peer = b, a
+	g.Engine(0).ScheduleHandler(0, a)
+	return g, a, b
+}
+
+func TestShardGroupPingPongSerialEqualsConcurrent(t *testing.T) {
+	const hops = 200
+	gs, as, bs := newPingPong(t, hops, 64)
+	if err := gs.RunSerial(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	gc, ac, bc := newPingPong(t, hops, 64)
+	if err := gc.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(as.log, ac.log) || !reflect.DeepEqual(bs.log, bc.log) {
+		t.Fatal("concurrent run diverged from the serial reference")
+	}
+	ss, sc := gs.Stats(), gc.Stats()
+	if ss.Epochs != sc.Epochs || ss.FastForwards != sc.FastForwards {
+		t.Fatalf("epoch accounting diverged: serial %+v concurrent %+v", ss, sc)
+	}
+	for i := range ss.Shards {
+		if ss.Shards[i].Events != sc.Shards[i].Events ||
+			ss.Shards[i].Sends != sc.Shards[i].Sends ||
+			ss.Shards[i].Recvs != sc.Shards[i].Recvs {
+			t.Fatalf("shard %d counters diverged: serial %+v concurrent %+v", i, ss.Shards[i], sc.Shards[i])
+		}
+	}
+	if got := len(as.log) + len(bs.log); got != hops+1 {
+		t.Fatalf("fired %d times, want %d", got, hops+1)
+	}
+}
+
+// --- actor model: K independent actors exchanging payloads ---
+//
+// The observable state is designed to be shard-count independent: fire
+// times and payloads are pure functions of (actor, index), and receipts
+// fold into commutative accumulators, so within-cycle delivery order —
+// the one thing that legitimately varies with the partitioning — cannot
+// show through.
+
+type actorState struct {
+	Sum, Xor, Count uint64
+}
+
+type actor struct {
+	g     *ShardGroup
+	id    int
+	shard int
+	all   []*actor
+	k     int // fire index
+	fires int
+	st    actorState
+}
+
+func (a *actor) stride() Cycle { return Cycle(3 + a.id%7) }
+
+// Fire emits one payload to a rotating destination and reschedules itself.
+func (a *actor) Fire(now Cycle) {
+	if a.k >= a.fires {
+		return
+	}
+	a.k++
+	dest := a.all[(a.id+a.k)%len(a.all)]
+	payload := uint64(a.id+1)*1_000_003 + uint64(now)*31
+	a.g.Send(a.shard, dest.shard, now+a.g.Quantum(), &delivery{to: dest, payload: payload})
+	a.g.Engine(a.shard).ScheduleHandler(now+a.stride(), a)
+}
+
+type delivery struct {
+	to      *actor
+	payload uint64
+}
+
+func (d *delivery) Fire(now Cycle) {
+	d.to.st.Sum += d.payload
+	d.to.st.Xor ^= d.payload * uint64(now)
+	d.to.st.Count++
+}
+
+func runActors(t *testing.T, shards, nActors, fires int, quantum Cycle, concurrent bool) []actorState {
+	t.Helper()
+	g, err := NewShardGroup(shards, quantum, 4) // tiny rings: exercise the spill path too
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]*actor, nActors)
+	for i := range all {
+		all[i] = &actor{g: g, id: i, shard: i % shards, all: all, fires: fires}
+	}
+	for _, a := range all {
+		g.Engine(a.shard).ScheduleHandler(a.stride(), a)
+	}
+	var err2 error
+	if concurrent {
+		err2 = g.Run(context.Background())
+	} else {
+		err2 = g.RunSerial(context.Background())
+	}
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	out := make([]actorState, nActors)
+	for i, a := range all {
+		out[i] = a.st
+	}
+	return out
+}
+
+// TestShardGroupDeterminismAcrossShardCounts is the determinism hammer:
+// the same model partitioned 1, 2, 3 and 8 ways, serial and concurrent,
+// must land on identical final state.
+func TestShardGroupDeterminismAcrossShardCounts(t *testing.T) {
+	const nActors, fires = 8, 60
+	const quantum = 32
+	ref := runActors(t, 1, nActors, fires, quantum, false)
+	for _, shards := range []int{1, 2, 3, 8} {
+		for _, concurrent := range []bool{false, true} {
+			got := runActors(t, shards, nActors, fires, quantum, concurrent)
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("shards=%d concurrent=%v diverged from the 1-shard reference:\n got %+v\nwant %+v",
+					shards, concurrent, got, ref)
+			}
+		}
+	}
+}
+
+func TestShardGroupRepeatedRunsIdentical(t *testing.T) {
+	a := runActors(t, 3, 8, 40, 64, true)
+	b := runActors(t, 3, 8, 40, 64, true)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two concurrent runs with identical inputs diverged")
+	}
+}
+
+// --- barrier edge cases ---
+
+// boundaryProbe records the epoch-relative position of its firing.
+type boundaryProbe struct {
+	fired []Cycle
+}
+
+func (p *boundaryProbe) Fire(now Cycle) { p.fired = append(p.fired, now) }
+
+// TestShardGroupQuantumBoundary: an event exactly on a quantum boundary
+// belongs to the NEXT epoch, and a cross-shard send targeting exactly the
+// next epoch's first cycle is legal (minimum lookahead).
+func TestShardGroupQuantumBoundary(t *testing.T) {
+	const q = 64
+	g, err := NewShardGroup(2, q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &boundaryProbe{}
+	g.Engine(1).ScheduleHandler(q, probe) // exactly on the boundary
+	sender := &sendAt{g: g, from: 0, to: 1, at: q, h: probe}
+	g.Engine(0).ScheduleHandler(q-1, sender) // last cycle of epoch 0
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if want := []Cycle{q, q}; !reflect.DeepEqual(probe.fired, want) {
+		t.Fatalf("probe fired at %v, want %v", probe.fired, want)
+	}
+	if st := g.Stats(); st.Epochs != 2 {
+		t.Fatalf("Epochs = %d, want 2 (boundary event must not fold into epoch 0)", st.Epochs)
+	}
+}
+
+type sendAt struct {
+	g        *ShardGroup
+	from, to int
+	at       Cycle
+	h        Handler
+}
+
+func (s *sendAt) Fire(now Cycle) { s.g.Send(s.from, s.to, s.at, s.h) }
+
+func TestShardGroupSendWithinEpochPanics(t *testing.T) {
+	const q = 64
+	g, err := NewShardGroup(2, q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &boundaryProbe{}
+	// A send targeting the current epoch's own limit violates lookahead.
+	g.Engine(0).ScheduleHandler(5, &sendAt{g: g, from: 0, to: 1, at: q - 1, h: probe})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("in-epoch cross-shard send did not panic")
+		}
+		if !strings.Contains(r.(string), "lookahead") {
+			t.Fatalf("panic %q does not mention lookahead", r)
+		}
+	}()
+	g.RunSerial(context.Background())
+}
+
+// TestShardGroupFastForward: when every shard goes idle for many quanta,
+// the group must jump straight to the next occupied epoch instead of
+// spinning through empty barriers.
+func TestShardGroupFastForward(t *testing.T) {
+	const q = 64
+	g, err := NewShardGroup(2, q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &boundaryProbe{}
+	g.Engine(0).ScheduleHandler(3, probe)
+	g.Engine(1).ScheduleHandler(1000*q+5, probe) // ~1000 empty epochs between
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Epochs != 2 {
+		t.Fatalf("Epochs = %d, want 2 (empty epochs must be skipped, not executed)", st.Epochs)
+	}
+	if st.FastForwards != 1 {
+		t.Fatalf("FastForwards = %d, want 1", st.FastForwards)
+	}
+	if want := []Cycle{3, 1000*q + 5}; !reflect.DeepEqual(probe.fired, want) {
+		t.Fatalf("probe fired at %v, want %v", probe.fired, want)
+	}
+}
+
+// TestShardGroupCancellation: cancelling mid-run returns promptly at the
+// next barrier with all workers exited, and the group is left at a
+// consistent barrier from which a fresh Run resumes to the same final
+// state an uncancelled run produces.
+func TestShardGroupCancellation(t *testing.T) {
+	const hops = 400
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	g, a, b := newPingPong(t, hops, 64)
+	a.cancel, a.cancelAt = cancel, 20 // cancel mid-run, from inside the model
+	if err := g.Run(ctx); err != context.Canceled {
+		t.Fatalf("cancelled Run returned %v, want context.Canceled", err)
+	}
+	if got := len(a.log) + len(b.log); got >= hops+1 {
+		t.Fatalf("run completed all %d fires despite cancellation", got)
+	}
+
+	// Workers must exit; allow the scheduler a moment to reap them.
+	for i := 0; i < 100 && runtime.NumGoroutine() > before; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked across cancelled Run: %d -> %d", before, now)
+	}
+
+	// Resume from the barrier and compare against an uncancelled reference.
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	gr, ar, br := newPingPong(t, hops, 64)
+	if err := gr.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.log, ar.log) || !reflect.DeepEqual(b.log, br.log) {
+		t.Fatal("resumed run diverged from an uncancelled reference")
+	}
+}
+
+func TestShardGroupNoEvents(t *testing.T) {
+	g, err := NewShardGroup(3, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Stats(); st.Epochs != 0 {
+		t.Fatalf("Epochs = %d on an empty group, want 0", st.Epochs)
+	}
+}
+
+func TestNewShardGroupRejectsBadConfig(t *testing.T) {
+	for _, tc := range []struct {
+		shards, cap int
+		quantum     Cycle
+	}{
+		{0, 8, 64}, {-1, 8, 64}, {2, 8, 0}, {2, 0, 64},
+	} {
+		if _, err := NewShardGroup(tc.shards, tc.quantum, tc.cap); err == nil {
+			t.Errorf("NewShardGroup(%d, %d, %d) accepted invalid config", tc.shards, tc.quantum, tc.cap)
+		}
+	}
+}
+
+// TestShardBarrierSteadyStateAllocs pins the zero-allocation contract on
+// the steady-state barrier path: once rings, node pools and the merge
+// scratch have warmed, an entire epoch cycle (run + drain + merge +
+// reschedule) performs no heap allocation. RunSerial exercises exactly the
+// barrier code the concurrent mode runs, minus per-Run goroutine setup.
+func TestShardBarrierSteadyStateAllocs(t *testing.T) {
+	const q = 64
+	g, err := NewShardGroup(2, q, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 0
+	a := &pongNode{g: g, me: 0, hops: &budget, log: make([]Cycle, 0, 1<<16)}
+	b := &pongNode{g: g, me: 1, hops: &budget, log: make([]Cycle, 0, 1<<16)}
+	a.peer, b.peer = b, a
+
+	// Warm pools: one full run.
+	budget = 50
+	g.Engine(0).ScheduleHandler(0, a)
+	if err := g.RunSerial(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	next := g.Engine(0).Now() + q
+	allocs := testing.AllocsPerRun(100, func() {
+		budget = 50
+		g.Engine(0).ScheduleHandler(next, a)
+		if err := g.RunSerial(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		next = g.Engine(0).Now() + q
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state barrier path allocated %.1f times per run, want 0", allocs)
+	}
+}

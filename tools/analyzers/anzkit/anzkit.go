@@ -10,7 +10,8 @@
 //
 // An allow comment suppresses diagnostics on its own line, on the line
 // below (when it stands alone), or in the whole function (when it appears
-// in the function's doc comment).
+// in the function's doc comment). Analyzers that audit whole files (the
+// confinement check) additionally honor the file-doc form via FileAllows.
 package anzkit
 
 import (
@@ -155,6 +156,29 @@ func allowedNames(text string) []string {
 		}
 	}
 	return names
+}
+
+// FileAllows reports whether a comment above the file's package clause
+// carries an //alloyvet:allow(...) naming the analyzer — either in the
+// doc comment proper or as a standalone comment separated by a blank line
+// (which keeps it out of go doc output). Analyzers whose unit of
+// exemption is a whole file (e.g. confine, which blesses audited
+// concurrency-runtime files) call this before walking the file; the
+// per-line grammar stays available for point exemptions.
+func FileAllows(f *ast.File, analyzer string) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			continue
+		}
+		for _, c := range cg.List {
+			for _, n := range allowedNames(c.Text) {
+				if n == analyzer {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // allowIndex resolves allow comments to (file, line, analyzer) coverage.

@@ -1,5 +1,6 @@
 // Command alloyvet is the repo's static-analysis multichecker: the
-// determinism, hotpath, and cycleunits analyzers compiled into one binary.
+// determinism, hotpath, cycleunits, and confine analyzers compiled into
+// one binary.
 // See DESIGN.md §9 for the annotation grammar the analyzers honor.
 //
 // Two modes:
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"alloysim/tools/analyzers/anzkit"
+	"alloysim/tools/analyzers/confine"
 	"alloysim/tools/analyzers/cycleunits"
 	"alloysim/tools/analyzers/determinism"
 	"alloysim/tools/analyzers/hotpath"
@@ -29,6 +31,7 @@ var analyzers = []*anzkit.Analyzer{
 	determinism.Analyzer,
 	hotpath.Analyzer,
 	cycleunits.Analyzer,
+	confine.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,17 @@
+// Package experiments is outside the confinement cone (the sweep
+// scheduler coordinates real threads on purpose): nothing here is
+// flagged.
+package experiments
+
+import "sync"
+
+type Runner struct {
+	mu   sync.Mutex
+	done chan struct{}
+}
+
+func (r *Runner) Go(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go fn()
+}

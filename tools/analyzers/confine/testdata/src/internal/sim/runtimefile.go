@@ -1,0 +1,32 @@
+// Package sim: this file is an audited concurrency-runtime file — the
+// file-doc allow below exempts the whole file, so nothing here is flagged
+// even though it is full of concurrency constructs.
+//
+//alloyvet:allow(confine) audited SPSC runtime file; raced in CI
+package sim
+
+import "sync/atomic"
+
+// Ring is a stand-in for the real mailbox: atomics, channels, selects.
+type Ring struct {
+	head atomic.Uint64
+	tail atomic.Uint64
+	note chan struct{}
+}
+
+func NewRing() *Ring {
+	return &Ring{note: make(chan struct{}, 1)}
+}
+
+func (r *Ring) Signal() {
+	select {
+	case r.note <- struct{}{}:
+	default:
+	}
+}
+
+func (r *Ring) Spin() {
+	go func() {
+		r.head.Add(1)
+	}()
+}
