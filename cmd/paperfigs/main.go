@@ -138,7 +138,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "paperfigs: debug server: %v\n", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
+		defer func() {
+			// Graceful drain with a bound: an exiting CLI should not hang
+			// on a stuck scrape, but lets a quick one finish.
+			sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer scancel()
+			if err := srv.Close(sctx); err != nil {
+				fmt.Fprintf(os.Stderr, "paperfigs: debug server shutdown: %v\n", err)
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "paperfigs: debug server listening on %s\n", *debugAddr)
 	}
 

@@ -20,6 +20,7 @@ func (s *System) EnableObservability(reg *obs.Registry, trc *obs.Tracer) {
 	if reg == nil {
 		return
 	}
+	s.reg = reg
 	s.eng.RegisterMetrics(reg, "sim_engine")
 	s.l3.RegisterMetrics(reg, "l3")
 	s.mem.RegisterMetrics(reg, "dram_offchip")
@@ -35,6 +36,10 @@ func (s *System) EnableObservability(reg *obs.Registry, trc *obs.Tracer) {
 	reg.RegisterHistogram("miss_latency_cycles", "DRAM-cache miss latency from L3-miss detection", s.missLatHist)
 	reg.RegisterGaugeFunc("read_latency_mean_cycles", "mean latency of reads serviced below the L3", func() float64 { return s.readLat.Value() })
 	s.registerFrontEndMetrics(reg)
+	// Publish the t=0 snapshot now, while nothing is running: from here
+	// on, debug-server scrapes serve rendered snapshots (refreshed
+	// between quanta by RunContext) instead of racing live fields.
+	reg.PublishSnapshot()
 }
 
 // registerFrontEndMetrics exposes the sharded front-end's per-worker

@@ -57,6 +57,11 @@ type System struct {
 	// early return. Set via EnableObservability.
 	trc *obs.Tracer
 
+	// reg is the attached metrics registry (nil when observability is
+	// off). RunContext publishes rendered snapshots into it between
+	// quanta so debug-server scrapes never read live component fields.
+	reg *obs.Registry
+
 	// Pooled engine events for the fill path (see events.go); freelists
 	// keep steady-state scheduling allocation-free.
 	fillFree *fillEvent
@@ -230,10 +235,27 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
+		s.publishMetrics()
 		limit += cancelQuantum
 	}
 
+	s.publishMetrics()
 	return s.collect(), nil
+}
+
+// publishMetrics renders a registry snapshot for concurrent /metrics
+// scrapers (obs.Registry.PublishSnapshot). It runs on the simulation
+// goroutine between engine quanta — the one place every component field
+// is safe to read — and is skipped while decoupled front-end workers are
+// live, because their per-shard stats are worker-owned until the run
+// joins them. Snapshot rendering only reads and formats: it cannot
+// perturb event order, so results stay byte-identical with or without an
+// attached registry.
+func (s *System) publishMetrics() {
+	if s.reg == nil || s.cfg.effectiveShards() > 1 {
+		return
+	}
+	s.reg.PublishSnapshot()
 }
 
 // warm streams WarmupRefs references per core through the cache contents

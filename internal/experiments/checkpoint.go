@@ -110,18 +110,34 @@ func (r *Runner) EnableCheckpoint(path string) (restored int, err error) {
 }
 
 // saveCheckpoint snapshots the memo to the checkpoint file atomically.
+//
+// The memo snapshot is taken *inside* the writer lock. Taking it outside
+// (the original ordering) let two concurrent point completions race:
+// leader A snapshots {p1}, leader B snapshots {p1,p2} and commits, then
+// A's rename lands an older memo over B's newer file — p2 silently gone
+// until some later completion happens to rewrite it, and permanently gone
+// if the sweep ends first. Holding cw.mu across snapshot+marshal+rename
+// makes every committed file a superset of the one it replaces: the memo
+// only grows, and each writer reads it after the previous writer's commit.
 func (r *Runner) saveCheckpoint() error {
 	r.mu.Lock()
 	cw := r.ckpt
+	r.mu.Unlock()
+	if cw == nil {
+		return nil
+	}
+
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+
+	r.mu.Lock()
 	entries := make([]checkpointEntry, 0, len(r.cache))
 	//alloyvet:allow(determinism) collection order is irrelevant: sorted by point key below
 	for pt, res := range r.cache {
 		entries = append(entries, checkpointEntry{Point: pt, Result: res})
 	}
 	r.mu.Unlock()
-	if cw == nil {
-		return nil
-	}
+
 	// Deterministic entry order keeps successive snapshots diffable.
 	sort.Slice(entries, func(i, j int) bool {
 		return entries[i].Point.String() < entries[j].Point.String()
@@ -136,8 +152,6 @@ func (r *Runner) saveCheckpoint() error {
 		return fmt.Errorf("experiments: encoding checkpoint: %w", err)
 	}
 
-	cw.mu.Lock()
-	defer cw.mu.Unlock()
 	dir := filepath.Dir(cw.path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(cw.path)+".tmp-*")
 	if err != nil {

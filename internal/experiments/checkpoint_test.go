@@ -6,6 +6,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"alloysim/internal/core"
@@ -159,5 +160,72 @@ func TestCheckpointSnapshotsAfterEveryPoint(t *testing.T) {
 	}
 	if cf := readEntries(); len(cf.Entries) != 3 {
 		t.Fatalf("failed point leaked into the checkpoint: %d entries", len(cf.Entries))
+	}
+}
+
+// TestCheckpointConcurrentCompletionsDoNotClobber hammers the checkpoint
+// write path with many leaders completing points concurrently
+// (GOMAXPROCS > 1). The original ordering snapshotted the memo *before*
+// taking the writer lock, so a stale snapshot could win the rename race
+// and silently drop points from the file. The final file must hold every
+// completed point, and a fresh runner must restore all of them.
+func TestCheckpointConcurrentCompletionsDoNotClobber(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	const points = 48
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	p := microParams()
+	p.Parallelism = 8
+	r := NewRunner(p)
+	r.simulate = func(ctx context.Context, pt Point) (core.Result, error) {
+		return core.Result{ExecCycles: float64(pt.CacheMB)}, nil
+	}
+	if _, err := r.EnableCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]Point, points)
+	for i := range pts {
+		pts[i] = Point{Workload: "mcf_r", Design: core.DesignAlloy, CacheMB: uint64(i + 1)}
+	}
+	if err := r.Prefetch(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+
+	// The committed file parses, carries the right fingerprint, and holds
+	// every point: no interleaved writes, no stale-snapshot clobbering.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		t.Fatalf("final checkpoint is not valid JSON: %v", err)
+	}
+	if cf.Fingerprint != p.fingerprint() {
+		t.Fatal("final checkpoint fingerprint mismatch")
+	}
+	if len(cf.Entries) != points {
+		t.Fatalf("final checkpoint holds %d entries, want %d", len(cf.Entries), points)
+	}
+	got := make(map[Point]bool, points)
+	for _, e := range cf.Entries {
+		got[e.Point] = true
+		if e.Result.ExecCycles != float64(e.Point.CacheMB) {
+			t.Fatalf("entry %s carries result %v, want %v", e.Point, e.Result.ExecCycles, float64(e.Point.CacheMB))
+		}
+	}
+	for _, pt := range pts {
+		if !got[r.normalize(pt)] {
+			t.Fatalf("point %s missing from the final checkpoint", pt)
+		}
+	}
+
+	// And a fresh runner restores the complete set.
+	r2 := NewRunner(p)
+	restored, err := r2.EnableCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != points {
+		t.Fatalf("restored %d points, want %d", restored, points)
 	}
 }

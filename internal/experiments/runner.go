@@ -115,9 +115,15 @@ type Runner struct {
 
 // inflightCall is the singleflight record for one running Point.
 type inflightCall struct {
-	done chan struct{} // closed when res/err are final
+	done chan struct{} // closed when res/err/abandoned are final
 	res  core.Result
 	err  error
+	// abandoned marks a call whose leader was cancelled before producing
+	// an outcome. The leader's ctx.Err() belongs to the leader alone:
+	// broadcasting it would poison waiters whose own contexts are live and
+	// leave the point unexecuted. Waiters that observe abandoned re-enter
+	// the singleflight and one of them becomes the new leader.
+	abandoned bool
 }
 
 // FailureRecord describes the final outcome of a point whose every
@@ -177,6 +183,12 @@ type Point struct {
 func (pt Point) String() string {
 	return fmt.Sprintf("%s|%s|%s|%d", pt.Workload, pt.Design, pt.Predictor, pt.CacheMB)
 }
+
+// Normalize returns the canonical spelling of pt under this runner's
+// defaults — the form under which distinct argument spellings of the
+// same simulation share one memo slot (and, in the daemon, one content
+// address).
+func (r *Runner) Normalize(pt Point) Point { return r.normalize(pt) }
 
 // normalize applies the runner defaults that make distinct argument
 // spellings of the same simulation share one memo slot.
@@ -238,47 +250,69 @@ func (r *Runner) Params() Params { return r.p }
 // Run simulates one (workload, design, predictor, cacheMB) point. cacheMB
 // is paper-scale; zero uses the runner default. Results are memoized;
 // concurrent calls for the same point share a single execution, and
-// waiters share the leader's outcome, errors included.
+// waiters share the leader's outcome, errors included — with one
+// exception: a leader whose own context is cancelled abandons the call
+// rather than broadcasting its ctx.Err(), and a live-context waiter takes
+// over as the new leader. A cancellation therefore only ever surfaces to
+// the caller whose context it belongs to, and the point still completes
+// as long as any interested caller survives.
 func (r *Runner) Run(ctx context.Context, workload string, d core.Design, pk core.PredictorKind, cacheMB uint64) (core.Result, error) {
 	key := r.normalize(Point{Workload: workload, Design: d, Predictor: pk, CacheMB: cacheMB})
 
-	r.mu.Lock()
-	if res, ok := r.cache[key]; ok {
-		r.m.MemoHits++
-		r.mu.Unlock()
-		return res, nil
-	}
-	if c, ok := r.inflight[key]; ok {
-		r.m.FlightJoins++
-		r.mu.Unlock()
-		select {
-		case <-c.done:
-			return c.res, c.err
-		case <-ctx.Done():
-			return core.Result{}, ctx.Err()
+	for {
+		r.mu.Lock()
+		if res, ok := r.cache[key]; ok {
+			r.m.MemoHits++
+			r.mu.Unlock()
+			return res, nil
 		}
-	}
-	c := &inflightCall{done: make(chan struct{})}
-	r.inflight[key] = c
-	r.mu.Unlock()
-
-	res, err := r.runPoint(ctx, key)
-
-	r.mu.Lock()
-	delete(r.inflight, key)
-	if err == nil {
-		r.cache[key] = res
-	}
-	r.mu.Unlock()
-	c.res, c.err = res, err
-	close(c.done)
-
-	if err == nil && r.ckpt != nil {
-		if cerr := r.saveCheckpoint(); cerr != nil {
-			r.progressf("  checkpoint write failed: %v\n", cerr)
+		if c, ok := r.inflight[key]; ok {
+			r.m.FlightJoins++
+			r.mu.Unlock()
+			select {
+			case <-c.done:
+				if c.abandoned {
+					// The leader was cancelled, not the point. If this
+					// waiter's own context is still live it loops around
+					// and competes to become the new leader; the inflight
+					// entry is already gone.
+					if err := ctx.Err(); err != nil {
+						return core.Result{}, err
+					}
+					continue
+				}
+				return c.res, c.err
+			case <-ctx.Done():
+				return core.Result{}, ctx.Err()
+			}
 		}
+		c := &inflightCall{done: make(chan struct{})}
+		r.inflight[key] = c
+		r.mu.Unlock()
+
+		res, err := r.runPoint(ctx, key)
+
+		// A failure caused by this leader's own cancellation is not an
+		// outcome of the point: mark the call abandoned so waiters retry
+		// instead of inheriting a context error that was never theirs.
+		abandoned := err != nil && ctx.Err() != nil
+
+		r.mu.Lock()
+		delete(r.inflight, key)
+		if err == nil {
+			r.cache[key] = res
+		}
+		r.mu.Unlock()
+		c.res, c.err, c.abandoned = res, err, abandoned
+		close(c.done)
+
+		if err == nil && r.ckpt != nil {
+			if cerr := r.saveCheckpoint(); cerr != nil {
+				r.progressf("  checkpoint write failed: %v\n", cerr)
+			}
+		}
+		return res, err
 	}
-	return res, err
 }
 
 // runPoint executes one point with the configured retry budget. Only the
@@ -331,9 +365,14 @@ func (r *Runner) runPoint(ctx context.Context, key Point) (core.Result, error) {
 			r.progressf("  retrying %s after attempt %d: %v\n", key, attempt, err)
 		}
 	}
-	r.mu.Lock()
-	r.m.Failures++
-	r.mu.Unlock()
+	// A leader abandoned by its own context is not a point failure: the
+	// call is handed to a surviving waiter (or retried by the next caller),
+	// so only genuine exhaustion and permanent errors count.
+	if ctx.Err() == nil {
+		r.mu.Lock()
+		r.m.Failures++
+		r.mu.Unlock()
+	}
 	return core.Result{}, lastErr
 }
 

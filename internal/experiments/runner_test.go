@@ -421,6 +421,135 @@ func TestPrefetchRecordsSkippedPoints(t *testing.T) {
 	}
 }
 
+// TestRunLeaderCancellationDoesNotPoisonWaiters is the regression hammer
+// for singleflight poisoning: the leader's context is cancelled while 8
+// live-context waiters are parked on its in-flight record. The old code
+// broadcast the leader's ctx.Err() to everyone — waiters received a
+// cancellation that was never theirs and the point was never executed.
+// Now the leader abandons the call, one waiter takes over, and the point
+// still completes exactly once; no waiter ever sees context.Canceled.
+func TestRunLeaderCancellationDoesNotPoisonWaiters(t *testing.T) {
+	const waiters = 8
+	r := NewRunner(microParams())
+
+	var sims atomic.Int32
+	leaderStarted := make(chan struct{})
+	r.simulate = func(ctx context.Context, pt Point) (core.Result, error) {
+		if sims.Add(1) == 1 {
+			// First (doomed) leader: park until its context dies.
+			close(leaderStarted)
+			<-ctx.Done()
+			return core.Result{}, ctx.Err()
+		}
+		// Successor leader: completes normally.
+		return core.Result{ExecCycles: 42}, nil
+	}
+
+	lctx, lcancel := context.WithCancel(context.Background())
+	defer lcancel()
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := r.Run(lctx, "mcf_r", core.DesignAlloy, core.PredDefault, 0)
+		leaderErr <- err
+	}()
+	<-leaderStarted
+
+	// Park the waiters on the in-flight record before pulling the plug.
+	results := make([]core.Result, waiters)
+	errs := make([]error, waiters)
+	var wg sync.WaitGroup
+	wg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = r.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, 0)
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second) //alloyvet:allow(determinism) test-harness poll deadline, not simulated time
+	for r.Metrics().FlightJoins < waiters {
+		if time.Now().After(deadline) { //alloyvet:allow(determinism) test-harness poll deadline, not simulated time
+			t.Fatalf("only %d of %d waiters joined the in-flight call", r.Metrics().FlightJoins, waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	lcancel()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled leader returned %v, want its own Canceled", err)
+	}
+	wg.Wait()
+
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d poisoned with %v, want the completed result", i, errs[i])
+		}
+		if results[i].ExecCycles != 42 {
+			t.Fatalf("waiter %d got ExecCycles=%v, want 42", i, results[i].ExecCycles)
+		}
+	}
+	// Exactly two simulate calls: the doomed leader and its successor.
+	if n := sims.Load(); n != 2 {
+		t.Fatalf("%d simulate calls, want 2 (cancelled leader + takeover)", n)
+	}
+	m := r.Metrics()
+	if m.PointsRun != 1 {
+		t.Fatalf("PointsRun=%d, want 1 (the takeover's success)", m.PointsRun)
+	}
+	if m.Failures != 0 {
+		t.Fatalf("Failures=%d after a leader abandonment, want 0", m.Failures)
+	}
+	res, err := r.Run(context.Background(), "mcf_r", core.DesignAlloy, core.PredDefault, 0)
+	if err != nil || res.ExecCycles != 42 {
+		t.Fatalf("memo after takeover: %+v, %v", res.ExecCycles, err)
+	}
+}
+
+// TestRunLeaderCancellationAllWaitersCancelled: when every interested
+// caller is cancelled, nobody executes the point and each caller gets its
+// *own* context error — the abandonment loop must not spin or execute a
+// simulation under a dead context.
+func TestRunLeaderCancellationAllWaitersCancelled(t *testing.T) {
+	r := NewRunner(microParams())
+	leaderStarted := make(chan struct{})
+	var sims atomic.Int32
+	r.simulate = func(ctx context.Context, pt Point) (core.Result, error) {
+		sims.Add(1)
+		close(leaderStarted)
+		<-ctx.Done()
+		return core.Result{}, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background()) // shared by leader and waiter
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := r.Run(ctx, "mcf_r", core.DesignAlloy, core.PredDefault, 0)
+		leaderErr <- err
+	}()
+	<-leaderStarted
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := r.Run(ctx, "mcf_r", core.DesignAlloy, core.PredDefault, 0)
+		waiterErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second) //alloyvet:allow(determinism) test-harness poll deadline, not simulated time
+	for r.Metrics().FlightJoins == 0 {
+		if time.Now().After(deadline) { //alloyvet:allow(determinism) test-harness poll deadline, not simulated time
+			t.Fatal("waiter never joined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader: %v, want Canceled", err)
+	}
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter: %v, want Canceled", err)
+	}
+	if n := sims.Load(); n != 1 {
+		t.Fatalf("%d simulate calls after total cancellation, want 1", n)
+	}
+}
+
 // TestRunWaiterCancellation: a waiter joined onto a leader's in-flight
 // simulation must unblock with its own ctx.Err() when cancelled, while the
 // leader finishes unperturbed and its result still lands in the memo.

@@ -1,36 +1,44 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
-// StartDebugServer exposes the registry over HTTP for interactive
-// inspection of a running simulation:
+// DebugMux builds the standard debug handler set over a registry:
 //
 //	/metrics       Prometheus text exposition
 //	/metrics.json  flat JSON (expvar style)
 //	/debug/pprof/  the standard pprof handlers
 //
-// Counter reads are unsynchronized snapshots of the single-threaded
-// simulation loop's fields: monotonic, word-sized values whose torn
-// reads are harmless for eyeballing progress. The listener is bound
-// before returning so callers fail fast on a bad address; the server
-// goroutine then runs until process exit.
-func StartDebugServer(addr string, reg *Registry) (*http.Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+// The alloysimd daemon mounts this mux inside its own server; the CLIs
+// serve it through StartDebugServer. Once the registry has published a
+// snapshot, scrapes serve the rendered bytes and never read live metric
+// fields — that is the race-safety contract for scraping a registry
+// whose writers are still running (a simulation mid-flight). A registry
+// that never publishes is dumped live, which is only correct when every
+// registered metric is safe to read concurrently (atomic fields, or Func
+// reads that take their owner's lock — the daemon and runner registries).
+func DebugMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if prom, _, ok := reg.Snapshot(); ok {
+			w.Write(prom) //nolint:errcheck // client gone; nothing to do
+			return
+		}
 		reg.WritePrometheus(w) //nolint:errcheck // client gone; nothing to do
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		if _, js, ok := reg.Snapshot(); ok {
+			w.Write(js) //nolint:errcheck // client gone; nothing to do
+			return
+		}
 		reg.WriteJSON(w) //nolint:errcheck // client gone; nothing to do
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -38,7 +46,88 @@ func StartDebugServer(addr string, reg *Registry) (*http.Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln) //nolint:errcheck // exits with the process
-	return srv, nil
+	return mux
+}
+
+// DebugServer is a running debug HTTP endpoint with a shutdown path. The
+// old StartDebugServer leaked its serve goroutine until process exit;
+// callers now own the lifecycle and Close it when the run ends.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+
+	mu        sync.Mutex
+	closed    bool
+	serveErr  error
+	serveDone chan struct{}
+}
+
+// StartDebugServer binds addr and serves the DebugMux on it. The listener
+// is bound before returning so callers fail fast on a bad address. The
+// server carries real timeouts (slow-client reads and idle keep-alives
+// cannot pin goroutines forever) except for writes: pprof profile
+// captures legitimately stream for ?seconds=N, so writes are bounded by
+// the generous writeTimeout below rather than a scrape-sized one.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	const (
+		readHeaderTimeout = 5 * time.Second
+		readTimeout       = 10 * time.Second
+		writeTimeout      = 2 * time.Minute // bounds pprof ?seconds= captures
+		idleTimeout       = 2 * time.Minute
+	)
+	ds := &DebugServer{
+		srv: &http.Server{
+			Handler:           DebugMux(reg),
+			ReadHeaderTimeout: readHeaderTimeout,
+			ReadTimeout:       readTimeout,
+			WriteTimeout:      writeTimeout,
+			IdleTimeout:       idleTimeout,
+		},
+		ln:        ln,
+		serveDone: make(chan struct{}),
+	}
+	go func() {
+		err := ds.srv.Serve(ln)
+		ds.mu.Lock()
+		if err != http.ErrServerClosed {
+			ds.serveErr = err
+		}
+		ds.mu.Unlock()
+		close(ds.serveDone)
+	}()
+	return ds, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (ds *DebugServer) Addr() net.Addr { return ds.ln.Addr() }
+
+// Close gracefully shuts the server down: the listener stops accepting,
+// idle connections close, and in-flight requests get until ctx to finish
+// (then are cut). Safe to call more than once.
+func (ds *DebugServer) Close(ctx context.Context) error {
+	ds.mu.Lock()
+	if ds.closed {
+		ds.mu.Unlock()
+		<-ds.serveDone
+		return ds.serveErr
+	}
+	ds.closed = true
+	ds.mu.Unlock()
+
+	err := ds.srv.Shutdown(ctx)
+	if err != nil {
+		// Shutdown timed out: cut the stragglers so Close never leaks.
+		ds.srv.Close() //nolint:errcheck // best-effort after timeout
+	}
+	<-ds.serveDone
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if err == nil {
+		err = ds.serveErr
+	}
+	return err
 }

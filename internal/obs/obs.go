@@ -17,25 +17,40 @@
 //     or RNG, so traced runs remain byte-reproducible.
 //
 // Everything here is single-writer by design, like the simulator it
-// instruments: one System owns one Registry and one Tracer. The only
-// concurrency-aware type is SyncWriter, which serializes log lines from
-// the experiment runner's worker goroutines.
+// instruments: one System owns one Registry and one Tracer. Concurrent
+// *readers* — the alloysimd daemon serves /metrics to many HTTP clients
+// while simulations run — are handled by the snapshot path: the goroutine
+// that owns the metrics calls PublishSnapshot, which renders the whole
+// registry and atomically swaps the rendered bytes in; scrape handlers
+// serve the snapshot and never touch live fields. The old "torn reads
+// are harmless for eyeballing" escape hatch is gone: a registry is
+// either dumped live by a reader that is synchronized with its writers
+// (the CLIs dumping after the run, Func metrics locking their owner's
+// mutex), or scraped through a published snapshot. Hot-path writes stay
+// plain single-writer field increments — zero allocations and zero added
+// cycles. SyncWriter serializes log lines from the experiment runner's
+// worker goroutines.
 package obs
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"alloysim/internal/stats"
 )
 
 // Counter is a monotonically increasing event count incremented on hot
 // paths. It is deliberately not atomic: the simulator is single-threaded,
-// and an uncontended add is the whole point of the idiom. Hold the
-// counter as a struct field and increment it directly; never look it up
-// through the Registry per event.
+// and an uncontended add is the whole point of the idiom (an atomic RMW
+// costs several ns per event — measured >20% on the engine mixed bench).
+// Hold the counter as a struct field and increment it directly; never
+// look it up through the Registry per event. Concurrent scrapes must go
+// through Registry.PublishSnapshot, published by the writer.
 type Counter struct{ v uint64 }
 
 // Inc adds one.
@@ -111,12 +126,27 @@ func (m *metric) value() float64 {
 	return 0
 }
 
-// Registry is the central metric index. Registration happens once at
-// setup and may allocate freely; dumping sorts by name so output is
-// deterministic. The zero Registry is not usable — call NewRegistry.
+// Registry is the central metric index. Registration happens at setup
+// and may allocate freely; dumping sorts by name so output is
+// deterministic. The index itself is guarded by a mutex so late
+// registration (a daemon wiring a new component) cannot race a
+// concurrent scrape; the lock is never touched on metric hot paths,
+// which increment their own Counter/Gauge fields directly. The zero
+// Registry is not usable — call NewRegistry.
 type Registry struct {
+	mu      sync.RWMutex
 	metrics []metric
 	byName  map[string]int // index into metrics, duplicate detection
+
+	// snap is the last published rendering (see PublishSnapshot). Nil
+	// until the first publish; the debug server serves live dumps then.
+	snap atomic.Pointer[renderedSnapshot]
+}
+
+// renderedSnapshot is one immutable, fully-rendered dump of the registry.
+type renderedSnapshot struct {
+	prom []byte // Prometheus text exposition
+	json []byte // flat JSON (expvar style)
 }
 
 // NewRegistry creates an empty registry.
@@ -130,6 +160,13 @@ func (r *Registry) register(m metric) {
 	if !validName(m.name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", m.name))
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.registerLocked(m)
+}
+
+// registerLocked is register with r.mu already held.
+func (r *Registry) registerLocked(m metric) {
 	if _, dup := r.byName[m.name]; dup {
 		panic(fmt.Sprintf("obs: metric %q registered twice", m.name))
 	}
@@ -191,6 +228,11 @@ func (r *Registry) RegisterHistogram(name, help string, h *stats.Histogram) {
 // path. The hotpath analyzer flags Registry method calls inside
 // //alloyvet:hotpath functions precisely to keep this lookup cold.
 func (r *Registry) Counter(name, help string) *Counter {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if i, ok := r.byName[name]; ok {
 		if r.metrics[i].kind != kindCounter {
 			panic(fmt.Sprintf("obs: metric %q is not a counter", name))
@@ -198,13 +240,18 @@ func (r *Registry) Counter(name, help string) *Counter {
 		return r.metrics[i].counter
 	}
 	c := &Counter{}
-	r.RegisterCounter(name, help, c)
+	r.registerLocked(metric{name: name, help: help, kind: kindCounter, counter: c})
 	return c
 }
 
 // Gauge returns the gauge registered under name, creating one if absent.
 // Setup-time only, like Counter.
 func (r *Registry) Gauge(name, help string) *Gauge {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if i, ok := r.byName[name]; ok {
 		if r.metrics[i].kind != kindGauge {
 			panic(fmt.Sprintf("obs: metric %q is not a gauge", name))
@@ -212,35 +259,49 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 		return r.metrics[i].gauge
 	}
 	g := &Gauge{}
-	r.RegisterGauge(name, help, g)
+	r.registerLocked(metric{name: name, help: help, kind: kindGauge, gauge: g})
 	return g
 }
 
 // Value reads the current value of the named metric (histograms report
 // their count). The bool reports whether the name is registered.
 func (r *Registry) Value(name string) (float64, bool) {
+	r.mu.RLock()
 	i, ok := r.byName[name]
+	var m metric
+	if ok {
+		m = r.metrics[i]
+	}
+	r.mu.RUnlock()
 	if !ok {
 		return 0, false
 	}
-	return r.metrics[i].value(), true
+	// The value read happens outside the index lock: Func metrics may
+	// take their owner's lock (the runner's), and holding r.mu across a
+	// foreign lock invites ordering deadlocks.
+	return m.value(), true
 }
 
 // Names returns all registered metric names in sorted order.
 func (r *Registry) Names() []string {
+	r.mu.RLock()
 	names := make([]string, 0, len(r.metrics))
 	for _, m := range r.metrics {
 		names = append(names, m.name)
 	}
+	r.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
 // sorted returns the metrics ordered by name; dump output must not
-// depend on registration order.
+// depend on registration order. The copy is taken under the index lock,
+// but values are read afterwards, outside it.
 func (r *Registry) sorted() []metric {
+	r.mu.RLock()
 	ms := make([]metric, len(r.metrics))
 	copy(ms, r.metrics)
+	r.mu.RUnlock()
 	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
 	return ms
 }
@@ -320,4 +381,30 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 func formatFloat(v float64) string {
 	s := fmt.Sprintf("%g", v)
 	return s
+}
+
+// PublishSnapshot renders the whole registry (Prometheus text and JSON)
+// and atomically publishes the result for concurrent scrapers. It MUST
+// be called by a goroutine that is allowed to read every registered
+// metric — in practice the goroutine that owns them: the simulation loop
+// between quanta, or a daemon thread whose metrics are all atomic or
+// lock-guarded Func reads. Scrape handlers (see DebugMux) serve the last
+// published snapshot without ever touching live fields, which is what
+// makes many concurrent daemon clients race-free against a running
+// simulation. Publishing is cold-path: it allocates and formats freely.
+func (r *Registry) PublishSnapshot() {
+	var prom, js bytes.Buffer
+	r.WritePrometheus(&prom) //nolint:errcheck // bytes.Buffer cannot fail
+	r.WriteJSON(&js)         //nolint:errcheck // bytes.Buffer cannot fail
+	r.snap.Store(&renderedSnapshot{prom: prom.Bytes(), json: js.Bytes()})
+}
+
+// Snapshot returns the last published rendering. ok is false before the
+// first PublishSnapshot. The returned slices are immutable.
+func (r *Registry) Snapshot() (prom, json []byte, ok bool) {
+	s := r.snap.Load()
+	if s == nil {
+		return nil, nil, false
+	}
+	return s.prom, s.json, true
 }

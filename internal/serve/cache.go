@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"alloysim/internal/core"
+	"alloysim/internal/experiments"
+)
+
+// ResultKey is the content address of one completed sweep point: the
+// SHA-256 of the backend's parameter fingerprint plus the normalized
+// point string. Two daemons with identical Params produce identical keys
+// for identical points, so keys are stable across restarts and hosts —
+// a client can quote a key from an SSE event at any replica.
+func ResultKey(fingerprint string, pt experiments.Point) string {
+	h := sha256.New()
+	h.Write([]byte(fingerprint))
+	h.Write([]byte{0})
+	h.Write([]byte(pt.String()))
+	return hex.EncodeToString(h.Sum(nil))[:24]
+}
+
+// resultCache is the daemon's hot tier: a bounded, content-addressed LRU
+// of completed results sitting in front of the runner's unbounded memo
+// and the checkpoint file. The runner's memo makes re-execution cheap;
+// this tier makes /v1/results/{key} lookups possible at all (the memo is
+// keyed by Point, not by content address) and bounds what one daemon
+// pins in memory on behalf of result-fetching clients.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	idx map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	pt  experiments.Point
+	res core.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap: capacity,
+		ll:  list.New(),
+		idx: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result and bumps recency.
+func (c *resultCache) Get(key string) (core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[key]
+	if !ok {
+		c.misses++
+		return core.Result{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Lookup is Get plus the point the key addresses (for /v1/results).
+func (c *resultCache) Lookup(key string) (experiments.Point, core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[key]
+	if !ok {
+		c.misses++
+		return experiments.Point{}, core.Result{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.pt, e.res, true
+}
+
+// Put inserts (or refreshes) an entry, evicting from the cold end.
+func (c *resultCache) Put(key string, pt experiments.Point, res core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.idx[key] = c.ll.PushFront(&cacheEntry{key: key, pt: pt, res: res})
+	for c.ll.Len() > c.cap {
+		cold := c.ll.Back()
+		c.ll.Remove(cold)
+		delete(c.idx, cold.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns hit/miss/eviction tallies for the metrics closures.
+func (c *resultCache) Stats() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

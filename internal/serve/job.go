@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"alloysim/internal/core"
+	"alloysim/internal/experiments"
+)
+
+// Job is one admitted sweep: a fixed point set, an append-only event log,
+// and a context that DELETE /v1/jobs/{id} or Server.Close cancels.
+// Events are strictly ordered by Seq; SSE subscribers replay the log from
+// any position and then follow the live tail, so a reconnecting client
+// (Last-Event-ID) never misses or reorders a point. Every admitted task
+// eventually executes — a cancelled job's remaining points fail fast with
+// the context error — so the terminal "done" event is always emitted and
+// followers never hang.
+type Job struct {
+	ID     string
+	Tenant string
+	Points []experiments.Point
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	events    []Event
+	completed int
+	failed    int
+	done      chan struct{} // closed when the last point completes
+	changed   chan struct{} // closed+replaced on every append (broadcast)
+}
+
+// Event is one SSE payload. Type is "point" for each completed point and
+// a final "done" carrying the tallies.
+type Event struct {
+	Type      string             `json:"type"`
+	Seq       int                `json:"seq"`
+	Point     *experiments.Point `json:"point,omitempty"`
+	Key       string             `json:"key,omitempty"` // content address for /v1/results/{key}
+	Cached    bool               `json:"cached,omitempty"`
+	Result    *core.Result       `json:"result,omitempty"`
+	Error     string             `json:"error,omitempty"`
+	Completed int                `json:"completed,omitempty"`
+	Failed    int                `json:"failed,omitempty"`
+}
+
+func newJob(id, tenant string, pts []experiments.Point, parent context.Context) *Job {
+	ctx, cancel := context.WithCancel(parent)
+	return &Job{
+		ID:      id,
+		Tenant:  tenant,
+		Points:  pts,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		changed: make(chan struct{}),
+	}
+}
+
+// Cancel aborts the job's remaining simulations. Already-completed
+// points keep their events; in-flight runs abandon at the next engine
+// quantum (surviving coalesced jobs take the point over) and the not-yet
+// -run remainder fails fast, so the done event still arrives.
+func (j *Job) Cancel() { j.cancel() }
+
+// Done is closed when every point has completed or failed.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// completePoint appends the point event (and, when it is the last one,
+// the done event) and reports whether the job just finished.
+func (j *Job) completePoint(idx int, key string, res *core.Result, cached bool, err error) (last bool) {
+	pt := j.Points[idx]
+	j.mu.Lock()
+	ev := Event{Type: "point", Seq: len(j.events), Point: &pt, Key: key, Cached: cached, Result: res}
+	if err != nil {
+		ev.Error = err.Error()
+		j.failed++
+	} else {
+		j.completed++
+	}
+	j.events = append(j.events, ev)
+	last = j.completed+j.failed == len(j.Points)
+	if last {
+		j.events = append(j.events, Event{
+			Type: "done", Seq: len(j.events),
+			Completed: j.completed, Failed: j.failed,
+		})
+	}
+	// Broadcast: wake every follower, arm a fresh signal channel.
+	close(j.changed)
+	j.changed = make(chan struct{})
+	j.mu.Unlock()
+	if last {
+		close(j.done)
+		j.cancel() // release the context's resources
+	}
+	return last
+}
+
+// snapshotFrom returns the events at index >= from and the channel that
+// will be closed on the next append.
+func (j *Job) snapshotFrom(from int) (evs []Event, changed chan struct{}) {
+	j.mu.Lock()
+	if from < len(j.events) {
+		evs = append(evs, j.events[from:]...)
+	}
+	changed = j.changed
+	j.mu.Unlock()
+	return evs, changed
+}
+
+type jobStatus struct {
+	ID        string `json:"id"`
+	Tenant    string `json:"tenant"`
+	State     string `json:"state"`
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+}
+
+func (j *Job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{
+		ID: j.ID, Tenant: j.Tenant,
+		Total: len(j.Points), Completed: j.completed, Failed: j.failed,
+	}
+	switch {
+	case j.completed+j.failed == len(j.Points):
+		st.State = "done"
+	case len(j.events) > 0:
+		st.State = "running"
+	default:
+		st.State = "queued"
+	}
+	return st
+}
+
+// serveEvents streams the job's event log as Server-Sent Events: replay
+// everything already recorded, then follow the live tail until the done
+// event or client disconnect. Each frame is
+//
+//	id: <seq>
+//	event: <type>
+//	data: <json>
+//
+// so EventSource clients resume seamlessly via Last-Event-ID.
+func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request, job *Job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	s.m.sseClients.Add(1)
+	defer s.m.sseClients.Add(-1)
+
+	next := 0
+	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+		fmt.Sscanf(lid, "%d", &next) //nolint:errcheck // bad id ⇒ full replay
+		next++
+	}
+	for {
+		evs, changed := job.snapshotFrom(next)
+		for i := range evs {
+			data, err := json.Marshal(&evs[i])
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", evs[i].Seq, evs[i].Type, data); err != nil {
+				return
+			}
+			if evs[i].Type == "done" {
+				fl.Flush()
+				return
+			}
+		}
+		next += len(evs)
+		fl.Flush()
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# loadtest.sh — start an alloysimd daemon, drive it with scripts/sweepload
+# (N concurrent clients x one M-point sweep each, with the -direct
+# byte-identical comparison on), and record the p50/p99 sweep latency,
+# coalescing hit rate, and 429 saturation under a label in BENCH_sim.json.
+#
+#   scripts/loadtest.sh             # run, record under "current"
+#   scripts/loadtest.sh pr7         # record under the "pr7" label
+#   CLIENTS=1000 scripts/loadtest.sh
+#   OUT=/tmp/bench.json scripts/loadtest.sh ci   # ledger to a scratch file
+#
+# Simulation scale is configurable; the default is a reduced scale so the
+# whole exercise (daemon boot -> 500 clients -> drain) stays in CI budget.
+# The sweepload parameter flags must mirror the daemon's — the harness
+# cross-checks the parameter fingerprint and fails fast on a mismatch.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-current}"
+ADDR="${ADDR:-127.0.0.1:18321}"
+CLIENTS="${CLIENTS:-500}"
+WORKERS="${WORKERS:-4}"
+INSTR="${INSTR:-50000}"
+WARMUP="${WARMUP:-2000}"
+CORES="${CORES:-4}"
+CACHE="${CACHE:-64}"
+WORKLOADS="${WORKLOADS:-mcf_r,lbm_r}"
+DESIGNS="${DESIGNS:-alloy,none}"
+
+go build -o "${TMPDIR:-/tmp}/alloysimd.$$" ./cmd/alloysimd
+DAEMON="${TMPDIR:-/tmp}/alloysimd.$$"
+"$DAEMON" -addr "$ADDR" -workers "$WORKERS" \
+  -instr "$INSTR" -warmup "$WARMUP" -cores "$CORES" -cache "$CACHE" &
+DPID=$!
+cleanup() {
+  kill -TERM "$DPID" 2>/dev/null || true
+  wait "$DPID" 2>/dev/null || true
+  rm -f "$DAEMON"
+}
+trap cleanup EXIT
+
+for _ in $(seq 1 50); do
+  curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "http://$ADDR/healthz" >/dev/null
+
+go run ./scripts/sweepload -addr "$ADDR" -clients "$CLIENTS" -direct \
+  -workloads "$WORKLOADS" -designs "$DESIGNS" \
+  -instr "$INSTR" -warmup "$WARMUP" -cores "$CORES" -cache "$CACHE" |
+  go run ./scripts/benchjson -label "$LABEL" -out "${OUT:-BENCH_sim.json}"

@@ -1,0 +1,335 @@
+// Command sweepload load-tests a running alloysimd daemon: N concurrent
+// clients each submit an M-point sweep, follow its SSE stream to the done
+// event, and the harness reports sweep-completion latency (p50/p99), the
+// coalescing hit rate scraped from the daemon's metrics, and how often
+// admission control pushed back (429s, retried with backoff — saturation
+// is a measured quantity here, not a failure).
+//
+//	go run ./scripts/sweepload -addr 127.0.0.1:8080 -clients 500
+//
+// Output is one go-bench-format line so scripts/benchjson can record the
+// run in BENCH_sim.json:
+//
+//	BenchmarkDaemonSweep  500  1234567.0 ns/op  2345678.0 p99_ns ...
+//
+// With -direct the harness also runs every distinct point through an
+// in-process experiments.Runner built from the same parameter flags and
+// requires the daemon's results to be identical — the anti-entropy check
+// the CI smoke job enforces. The parameter flags must match the daemon's;
+// the fingerprint in the sweep response is cross-checked first, so a
+// mismatch fails fast with a clear message instead of a spurious diff.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alloysim/internal/core"
+	"alloysim/internal/experiments"
+)
+
+type sweepResponse struct {
+	ID          string `json:"id"`
+	Points      int    `json:"points"`
+	Fingerprint string `json:"fingerprint"`
+	EventsURL   string `json:"events_url"`
+}
+
+type event struct {
+	Type      string             `json:"type"`
+	Seq       int                `json:"seq"`
+	Point     *experiments.Point `json:"point"`
+	Key       string             `json:"key"`
+	Cached    bool               `json:"cached"`
+	Result    *core.Result       `json:"result"`
+	Error     string             `json:"error"`
+	Completed int                `json:"completed"`
+	Failed    int                `json:"failed"`
+}
+
+type clientOut struct {
+	latency     time.Duration
+	retries     int // 429 bounces before admission
+	fingerprint string
+	results     map[string]core.Result
+	err         error
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "daemon address (host:port)")
+		clients   = flag.Int("clients", 500, "concurrent sweep clients")
+		workloads = flag.String("workloads", "mcf_r,lbm_r", "comma-separated workload grid")
+		designs   = flag.String("designs", "alloy,none", "comma-separated design grid")
+		cacheMB   = flag.Uint64("cache", 256, "cache size for every point (single-element grid)")
+		direct    = flag.Bool("direct", false, "re-run every distinct point in-process and require identical results")
+		timeout   = flag.Duration("timeout", 10*time.Minute, "overall deadline")
+
+		scale  = flag.Uint64("scale", 64, "capacity/footprint scale divisor (must match daemon)")
+		instr  = flag.Uint64("instr", 1_500_000, "instructions per core (must match daemon)")
+		warmup = flag.Uint64("warmup", 50_000, "warmup references per core (must match daemon)")
+		cores  = flag.Int("cores", 8, "rate-mode cores (must match daemon)")
+		gap    = flag.Uint("gapscale", 2, "instruction-gap multiplier (must match daemon)")
+		seed   = flag.Uint64("seed", 1, "workload seed (must match daemon)")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	p.Scale = *scale
+	p.InstructionsPerCore = *instr
+	p.WarmupRefs = *warmup
+	p.Cores = *cores
+	p.CacheMB = *cacheMB
+	p.GapScale = uint32(*gap)
+	p.Seed = *seed
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	base := "http://" + *addr
+	grid, _ := json.Marshal(map[string]interface{}{
+		"workloads": strings.Split(*workloads, ","),
+		"designs":   strings.Split(*designs, ","),
+		"cache_mb":  []uint64{*cacheMB},
+	})
+	points := len(strings.Split(*workloads, ",")) * len(strings.Split(*designs, ","))
+
+	// Scrape the runner's execution counter before, so the coalescing rate
+	// covers exactly this harness's traffic even against a warm daemon.
+	before, err := scrape(ctx, base)
+	if err != nil {
+		fatal("pre-scrape: %v", err)
+	}
+
+	httpc := &http.Client{} // no client timeout: SSE streams outlive any fixed bound; ctx bounds everything
+	outs := make([]clientOut, *clients)
+	var inFlight, peak atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cur := inFlight.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			defer inFlight.Add(-1)
+			outs[i] = runClient(ctx, httpc, base, fmt.Sprintf("load-%d", i), grid)
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var lats []time.Duration
+	var retries429, errs int
+	var daemonFP string
+	merged := map[string]core.Result{}
+	for i := range outs {
+		o := &outs[i]
+		if o.fingerprint != "" {
+			daemonFP = o.fingerprint
+		}
+		if o.err != nil {
+			errs++
+			fmt.Fprintf(os.Stderr, "sweepload: client %d: %v\n", i, o.err)
+			continue
+		}
+		lats = append(lats, o.latency)
+		retries429 += o.retries
+		for k, r := range o.results {
+			if prev, ok := merged[k]; ok && prev != r {
+				errs++
+				fmt.Fprintf(os.Stderr, "sweepload: key %s returned divergent results across clients\n", k)
+			}
+			merged[k] = r
+		}
+	}
+	if len(lats) == 0 {
+		fatal("no client completed")
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	p50 := lats[len(lats)/2]
+	p99 := lats[(len(lats)*99)/100]
+
+	// The daemon renders scrape snapshots on a ~1s cadence, so poll until
+	// the post-run counters cover everything this harness submitted.
+	expected := before["serve_points_done_total"] + float64(len(lats)*points)
+	var after map[string]float64
+	for {
+		after, err = scrape(ctx, base)
+		if err != nil {
+			fatal("post-scrape: %v", err)
+		}
+		if after["serve_points_done_total"] >= expected || ctx.Err() != nil {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	served := after["serve_points_done_total"] - before["serve_points_done_total"]
+	ran := after["runner_points_run_total"] - before["runner_points_run_total"]
+	coalesceRate := 0.0
+	if served > 0 {
+		coalesceRate = (served - ran) / served
+	}
+
+	// Anti-entropy: replay every distinct point in-process and demand
+	// identical results — the check the CI smoke job enforces. A
+	// fingerprint mismatch means these flags do not match the daemon's
+	// parameters; report that instead of a spurious result diff.
+	if *direct {
+		if daemonFP != "" && daemonFP != p.Fingerprint() {
+			fatal("parameter fingerprint mismatch: daemon %s, flags %s — pass the daemon's -scale/-instr/-warmup/-cores/-gapscale/-seed", daemonFP, p.Fingerprint())
+		}
+		r := experiments.NewRunner(p)
+		for k, res := range merged {
+			want, err := r.Run(ctx, res.Workload, res.Design, "", *cacheMB)
+			if err != nil {
+				fatal("direct run for key %s: %v", k, err)
+			}
+			if want != res {
+				fatal("daemon result for key %s (%s/%s) diverges from direct run:\ndirect: %+v\ndaemon: %+v",
+					k, res.Workload, res.Design, want, res)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "sweepload: direct comparison OK (%d distinct points byte-identical)\n", len(merged))
+	}
+
+	fmt.Fprintf(os.Stderr, "sweepload: %d clients x %d points in %s (peak in-flight %d), %d errors, %d 429-retries\n",
+		len(lats), points, wall.Round(time.Millisecond), peak.Load(), errs, retries429)
+
+	// One go-bench line: ns/op is the p50 sweep latency; everything else
+	// rides in ReportMetric-style extra columns for benchjson.
+	fmt.Printf("BenchmarkDaemonSweep\t%8d\t%.1f ns/op\t%.1f p99_ns\t%.4f coalesce_hit_rate\t%d errors\t%d rejected_429\t%.1f sweeps/s\n",
+		len(lats), float64(p50.Nanoseconds()), float64(p99.Nanoseconds()), coalesceRate,
+		errs, retries429, float64(len(lats))/wall.Seconds())
+	if errs > 0 {
+		os.Exit(1)
+	}
+}
+
+// runClient submits one sweep (retrying 429 backpressure with jittered
+// backoff) and follows its event stream to completion.
+func runClient(ctx context.Context, httpc *http.Client, base, tenant string, grid []byte) clientOut {
+	var out clientOut
+	start := time.Now()
+
+	var sr sweepResponse
+	for {
+		req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/sweep", bytes.NewReader(grid))
+		if err != nil {
+			out.err = err
+			return out
+		}
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := httpc.Do(req)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			resp.Body.Close()
+			out.retries++
+			select {
+			case <-time.After(time.Duration(10+out.retries%25) * time.Millisecond):
+				continue
+			case <-ctx.Done():
+				out.err = ctx.Err()
+				return out
+			}
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			resp.Body.Close()
+			out.err = fmt.Errorf("sweep status %d", resp.StatusCode)
+			return out
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			resp.Body.Close()
+			out.err = err
+			return out
+		}
+		resp.Body.Close()
+		out.fingerprint = sr.Fingerprint
+		break
+	}
+
+	req, err := http.NewRequestWithContext(ctx, "GET", base+sr.EventsURL, nil)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	defer resp.Body.Close()
+	out.results = map[string]core.Result{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			out.err = fmt.Errorf("bad event %q: %w", line, err)
+			return out
+		}
+		switch ev.Type {
+		case "point":
+			if ev.Error != "" {
+				out.err = fmt.Errorf("point %v failed: %s", ev.Point, ev.Error)
+				return out
+			}
+			out.results[ev.Key] = *ev.Result
+		case "done":
+			if ev.Failed > 0 {
+				out.err = fmt.Errorf("%d point(s) failed", ev.Failed)
+			}
+			out.latency = time.Since(start)
+			return out
+		}
+	}
+	out.err = fmt.Errorf("stream ended before done: %v", sc.Err())
+	return out
+}
+
+// scrape fetches /metrics.json and returns the flat number map.
+func scrape(ctx context.Context, base string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/metrics.json", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	m := map[string]float64{}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "sweepload: "+format+"\n", args...)
+	os.Exit(1)
+}
