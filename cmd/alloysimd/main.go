@@ -91,20 +91,27 @@ func run() error {
 	// The daemon's snapshot cadence: unlike the single-run CLIs (whose
 	// quantum loop publishes between quanta), many simulations run at
 	// once here, so a dedicated ticker renders the scrape snapshot.
+	snapStop := make(chan struct{})
 	snapDone := make(chan struct{})
 	go func() {
+		defer close(snapDone)
 		tick := time.NewTicker(time.Second)
 		defer tick.Stop()
 		for {
 			select {
 			case <-tick.C:
 				reg.PublishSnapshot()
-			case <-snapDone:
+			case <-snapStop:
 				return
 			}
 		}
 	}()
-	defer close(snapDone)
+	defer func() {
+		// Stop-and-join: the ticker goroutine owns snapDone and closes it
+		// on exit, so this receive is bounded by one tick at most.
+		close(snapStop)
+		<-snapDone
+	}()
 	reg.PublishSnapshot()
 
 	ln, err := net.Listen("tcp", *addr)

@@ -82,7 +82,7 @@ type mailboxSource struct {
 func (m *mailboxSource) NextRef() cpu.FrontRef {
 	var r cpu.FrontRef
 	if !m.box.Pop(&r, m.stop) {
-		//alloyvet:allow(hotpath) cold branch: a producer/consumer desync aborts the run
+		// Cold branch: a producer/consumer desync aborts the run.
 		panic("core: front-end ref stream ended before the core finished")
 	}
 	return r

@@ -47,7 +47,7 @@ type checkpointEntry struct {
 // checkpointWriter owns the checkpoint path and serializes snapshots.
 type checkpointWriter struct {
 	mu   sync.Mutex
-	path string
+	path string //alloyvet:owner EnableCheckpoint; immutable
 }
 
 // fingerprint hashes every Params field that changes simulation results.

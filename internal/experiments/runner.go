@@ -89,16 +89,17 @@ func QuickParams() Params {
 // on its in-flight record and share its outcome, so the shared DesignNone
 // baseline is never simulated twice however many Speedup calls race to it.
 type Runner struct {
-	p Params
+	p Params //alloyvet:owner NewRunner; immutable
 
 	mu       sync.Mutex
-	cache    map[Point]core.Result
-	inflight map[Point]*inflightCall
-	failures map[Point]*FailureRecord
-	m        Metrics
+	cache    map[Point]core.Result    //alloyvet:guard mu
+	inflight map[Point]*inflightCall  //alloyvet:guard mu
+	failures map[Point]*FailureRecord //alloyvet:guard mu
+	m        Metrics                  //alloyvet:guard mu
 
 	// ckpt is non-nil once EnableCheckpoint succeeds; it owns the file
 	// path and serializes snapshot writes.
+	//alloyvet:guard mu
 	ckpt *checkpointWriter
 
 	// pw serializes all operator-facing output: Prefetch completes points
@@ -106,10 +107,12 @@ type Runner struct {
 	// are not safe for concurrent use. WriteSummary renders through the
 	// same lock, so a summary line can never interleave with a progress
 	// line even when they target the same stream.
+	//alloyvet:owner NewRunner; the SyncWriter locks itself
 	pw *obs.SyncWriter
 
 	// simulate is the point-execution function; tests substitute it to
 	// count or fail executions without paying for real simulations.
+	//alloyvet:owner NewRunner; immutable outside tests
 	simulate func(ctx context.Context, pt Point) (core.Result, error)
 }
 
@@ -240,7 +243,10 @@ func (r *Runner) Prefetch(ctx context.Context, points []Point) error {
 			}
 		}()
 	}
-	wg.Wait()
+	// Every worker's Run honors ctx (cancellation fails its point fast),
+	// so after a cancel this join is bounded by one engine quantum per
+	// in-flight worker — the wait cannot outlive the workers.
+	wg.Wait() //alloyvet:allow(ctxflow)
 	return errors.Join(errs...)
 }
 
@@ -306,7 +312,9 @@ func (r *Runner) Run(ctx context.Context, workload string, d core.Design, pk cor
 		c.res, c.err, c.abandoned = res, err, abandoned
 		close(c.done)
 
-		if err == nil && r.ckpt != nil {
+		if err == nil {
+			// saveCheckpoint re-reads r.ckpt under the lock and is a
+			// no-op when checkpointing is disabled.
 			if cerr := r.saveCheckpoint(); cerr != nil {
 				r.progressf("  checkpoint write failed: %v\n", cerr)
 			}

@@ -53,12 +53,14 @@ func DebugMux(reg *Registry) *http.ServeMux {
 // old StartDebugServer leaked its serve goroutine until process exit;
 // callers now own the lifecycle and Close it when the run ends.
 type DebugServer struct {
-	srv *http.Server
-	ln  net.Listener
+	srv *http.Server //alloyvet:owner StartDebugServer; immutable
+	ln  net.Listener //alloyvet:owner StartDebugServer; immutable
 
-	mu        sync.Mutex
-	closed    bool
-	serveErr  error
+	mu       sync.Mutex
+	closed   bool  //alloyvet:guard mu
+	serveErr error //alloyvet:guard mu
+	// closed once by the serve goroutine when Serve returns
+	//alloyvet:owner StartDebugServer
 	serveDone chan struct{}
 }
 
@@ -112,7 +114,11 @@ func (ds *DebugServer) Close(ctx context.Context) error {
 	ds.mu.Lock()
 	if ds.closed {
 		ds.mu.Unlock()
-		<-ds.serveDone
+		// Wait for whichever caller is mid-Close: bounded by that
+		// caller's Shutdown ctx, after which Serve has returned.
+		<-ds.serveDone //alloyvet:allow(ctxflow)
+		ds.mu.Lock()
+		defer ds.mu.Unlock()
 		return ds.serveErr
 	}
 	ds.closed = true
@@ -123,7 +129,9 @@ func (ds *DebugServer) Close(ctx context.Context) error {
 		// Shutdown timed out: cut the stragglers so Close never leaks.
 		ds.srv.Close() //nolint:errcheck // best-effort after timeout
 	}
-	<-ds.serveDone
+	// Shutdown (or the hard Close above) has returned, so Serve is
+	// already unwinding; this receive is bounded.
+	<-ds.serveDone //alloyvet:allow(ctxflow)
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
 	if err == nil {

@@ -164,3 +164,78 @@ func TestDebugServerCloseStopsServing(t *testing.T) {
 		t.Fatal("server still answering after Close")
 	}
 }
+
+// TestDebugServerConcurrentCloseAndScrape races several Close calls
+// against in-flight scrapes and live snapshot publishes. Under -race this
+// pins down the Close/serveErr handoff — the idempotent early-return path
+// joins the serve goroutine and reads its error under the lock — and
+// proves every Close observer gets the same verdict.
+func TestDebugServerConcurrentCloseAndScrape(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("close_race_events_total", "events")
+	reg.PublishSnapshot()
+
+	ds, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ds.Addr().String()
+
+	var wg sync.WaitGroup
+	// One writer owns the counter (obs.Counter is single-writer by
+	// contract) and keeps publishing snapshots throughout the shutdown.
+	writerStop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for {
+			select {
+			case <-writerStop:
+				return
+			default:
+			}
+			c.Inc()
+			reg.PublishSnapshot()
+		}
+	}()
+	// Scrapers read until the listener drops; request errors are expected
+	// once a Close wins the race — racy memory is what -race is here for.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: time.Second}
+			for j := 0; j < 20; j++ {
+				resp, err := client.Get(base + "/metrics")
+				if err != nil {
+					return // listener gone: a Close won the race
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+			}
+		}()
+	}
+	// Closers: all must return, and all with the same (nil) verdict.
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			errs[i] = ds.Close(ctx)
+		}()
+	}
+	wg.Wait()
+	// The writer published concurrently with the whole shutdown; stop it
+	// only after every Close has returned.
+	close(writerStop)
+	writer.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("Close %d: %v", i, err)
+		}
+	}
+}

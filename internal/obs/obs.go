@@ -135,8 +135,8 @@ func (m *metric) value() float64 {
 // Registry is not usable — call NewRegistry.
 type Registry struct {
 	mu      sync.RWMutex
-	metrics []metric
-	byName  map[string]int // index into metrics, duplicate detection
+	metrics []metric       //alloyvet:guard mu
+	byName  map[string]int //alloyvet:guard mu (index into metrics, duplicate detection)
 
 	// snap is the last published rendering (see PublishSnapshot). Nil
 	// until the first publish; the debug server serves live dumps then.

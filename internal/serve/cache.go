@@ -31,11 +31,11 @@ func ResultKey(fingerprint string, pt experiments.Point) string {
 // pins in memory on behalf of result-fetching clients.
 type resultCache struct {
 	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recently used
-	idx map[string]*list.Element
+	cap int                      //alloyvet:owner newResultCache; immutable
+	ll  *list.List               //alloyvet:guard mu (front = most recently used)
+	idx map[string]*list.Element //alloyvet:guard mu
 
-	hits, misses, evictions uint64
+	hits, misses, evictions uint64 //alloyvet:guard mu
 }
 
 type cacheEntry struct {

@@ -20,19 +20,21 @@ import (
 // the context error — so the terminal "done" event is always emitted and
 // followers never hang.
 type Job struct {
-	ID     string
-	Tenant string
-	Points []experiments.Point
+	ID     string              //alloyvet:owner newJob; immutable
+	Tenant string              //alloyvet:owner newJob; immutable
+	Points []experiments.Point //alloyvet:owner newJob; immutable
 
-	ctx    context.Context
-	cancel context.CancelFunc
+	ctx    context.Context    //alloyvet:owner newJob; contexts are concurrency-safe
+	cancel context.CancelFunc //alloyvet:owner newJob; CancelFunc is concurrency-safe
 
 	mu        sync.Mutex
-	events    []Event
-	completed int
-	failed    int
-	done      chan struct{} // closed when the last point completes
-	changed   chan struct{} // closed+replaced on every append (broadcast)
+	events    []Event //alloyvet:guard mu
+	completed int     //alloyvet:guard mu
+	failed    int     //alloyvet:guard mu
+	// closed once, outside mu, when the last point completes
+	//alloyvet:owner completePoint
+	done    chan struct{}
+	changed chan struct{} //alloyvet:guard mu (closed+replaced on every append: broadcast)
 }
 
 // Event is one SSE payload. Type is "point" for each completed point and
@@ -172,6 +174,17 @@ func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request, job *Job) {
 	}
 	for {
 		evs, changed := job.snapshotFrom(next)
+		if len(evs) == 0 {
+			// Nothing to replay and the job is already done: the client
+			// resumed at (or past) the final event's id. After "done" the
+			// log is final and changed never closes again, so waiting
+			// would hang the stream until the client gives up. End it.
+			select {
+			case <-job.Done():
+				return
+			default:
+			}
+		}
 		for i := range evs {
 			data, err := json.Marshal(&evs[i])
 			if err != nil {

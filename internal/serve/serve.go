@@ -89,32 +89,34 @@ func (c Config) withDefaults() Config {
 // job bookkeeping, and the HTTP surface. Create with New, serve
 // s.Handler(), stop with Drain (graceful) or Close (hard).
 type Server struct {
-	cfg     Config
-	backend Backend
-	fp      string // backend params fingerprint (content-address prefix)
+	cfg     Config  //alloyvet:owner New; immutable after construction
+	backend Backend //alloyvet:owner New; immutable after construction
+	// backend params fingerprint (content-address prefix)
+	fp string //alloyvet:owner New; immutable after construction
 
-	reg    *obs.Registry
-	mux    *http.ServeMux
-	rcache *resultCache
+	reg    *obs.Registry  //alloyvet:owner New; the registry locks itself
+	mux    *http.ServeMux //alloyvet:owner New; read-only after buildMux
+	rcache *resultCache   //alloyvet:owner New; the cache locks itself
 
 	// baseCtx parents every job context: Close cancels it, Drain does
 	// not (in-flight jobs must finish during a drain).
+	//alloyvet:owner New; immutable after construction
 	baseCtx context.Context
-	cancel  context.CancelFunc
+	cancel  context.CancelFunc //alloyvet:owner New; CancelFunc is concurrency-safe
 
-	queue chan *task
+	queue chan *task     //alloyvet:owner New; channels synchronize themselves
 	wg    sync.WaitGroup // workers
 
 	mu       sync.Mutex
-	cond     *sync.Cond // signalled when activeJobs or queued drops
-	draining bool
-	closed   bool
-	queued   int // tasks admitted to queue but not yet picked up
-	jobs     map[string]*Job
-	jobSeq   uint64
-	tenants  map[string]int // in-flight jobs per tenant
+	cond     *sync.Cond      // signalled when activeJobs or queued drops
+	draining bool            //alloyvet:guard mu
+	closed   bool            //alloyvet:guard mu
+	queued   int             //alloyvet:guard mu (tasks admitted to queue but not yet picked up)
+	jobs     map[string]*Job //alloyvet:guard mu
+	jobSeq   uint64          //alloyvet:guard mu
+	tenants  map[string]int  //alloyvet:guard mu (in-flight jobs per tenant)
 
-	m serveMetrics
+	m serveMetrics //alloyvet:owner New; every field is an atomic
 }
 
 // serveMetrics are the daemon's own counters. They are written from many
@@ -140,6 +142,10 @@ func New(backend Backend, cfg Config, reg *obs.Registry) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	// The server IS a lifecycle root: baseCtx lives exactly as long as
+	// the Server and Close cancels it. There is no caller context to
+	// inherit — New is called once at process start.
+	//alloyvet:allow(ctxflow)
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
@@ -303,10 +309,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.queued+len(pts) > s.cfg.QueueDepth {
+		free := s.cfg.QueueDepth - s.queued
 		s.mu.Unlock()
 		s.m.rejectedQueue.Add(1)
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "queue full: %d points requested, %d slots free", len(pts), s.cfg.QueueDepth-s.queued)
+		httpError(w, http.StatusTooManyRequests, "queue full: %d points requested, %d slots free", len(pts), free)
 		return
 	}
 	s.jobSeq++
@@ -315,9 +322,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.tenants[tenant]++
 	s.queued += len(pts)
 	// Capacity was reserved above (queued <= QueueDepth == cap), so these
-	// sends cannot block even while holding the lock.
+	// sends cannot block even while holding the lock — and holding it
+	// orders whole-grid admission against Drain/Close flipping state.
 	for i := range pts {
-		s.queue <- &task{job: job, idx: i}
+		s.queue <- &task{job: job, idx: i} //alloyvet:allow(ctxflow,lockcheck)
 	}
 	s.mu.Unlock()
 
@@ -466,7 +474,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for len(s.tenants) > 0 && ctx.Err() == nil {
-		s.cond.Wait()
+		// The AfterFunc above broadcasts on ctx expiry, so this wait IS
+		// interruptible by ctx — just through the cond, not a select.
+		s.cond.Wait() //alloyvet:allow(ctxflow)
 	}
 	if err := ctx.Err(); err != nil {
 		n := 0

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -648,5 +649,70 @@ func TestRealRunnerBackend(t *testing.T) {
 	// daemon cache or the runner's memo/singleflight.
 	if m := r.Metrics(); m.PointsRun != 1 {
 		t.Fatalf("runner executed %d points for 4 identical sweeps", m.PointsRun)
+	}
+}
+
+// TestSSEResumeAtFinalEvent: resuming with Last-Event-ID equal to the done
+// event's id must end the stream immediately. After "done" the log is
+// final and no further event will ever arrive, so waiting on the change
+// signal would hang the client until it gave up.
+func TestSSEResumeAtFinalEvent(t *testing.T) {
+	fb := newFakeBackend()
+	s := New(fb, Config{Workers: 2, QueueDepth: 16}, nil)
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, sr := postSweep(t, ts, "", `{"workloads":["a","b"],"designs":["alloy"]}`)
+	full := readSSE(t, ts, sr.ID, "") // job done; the log is complete
+	last := full[len(full)-1]
+	if last.Type != "done" {
+		t.Fatalf("last event is %q, want done", last.Type)
+	}
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/jobs/"+sr.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", fmt.Sprintf("%d", last.Seq))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := ts.Client().Do(req.WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body) // must hit EOF, not the ctx guard
+	if err != nil {
+		t.Fatalf("stream did not end after resume at final event: %v", err)
+	}
+	if strings.Contains(string(body), "data: ") {
+		t.Fatalf("expected an empty replay, got:\n%s", body)
+	}
+}
+
+// TestCloseReleasesGoroutines brackets a full serve/sweep/close cycle with
+// runtime.NumGoroutine: workers, SSE writers, and per-job plumbing must
+// all join by the time Close returns — the daemon's no-leak contract.
+func TestCloseReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	fb := newFakeBackend()
+	s := New(fb, Config{Workers: 4, QueueDepth: 16}, nil)
+	ts := httptest.NewServer(s.Handler())
+	_, sr := postSweep(t, ts, "", `{"workloads":["a","b","c"],"designs":["alloy"]}`)
+	readSSE(t, ts, sr.ID, "")
+	ts.Close()
+	s.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

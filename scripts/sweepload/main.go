@@ -133,7 +133,9 @@ func main() {
 			outs[i] = runClient(ctx, httpc, base, fmt.Sprintf("load-%d", i), grid)
 		}()
 	}
-	wg.Wait()
+	// Every client loops over requests made with ctx, so cancellation
+	// fails them all promptly and this join is bounded.
+	wg.Wait() //alloyvet:allow(ctxflow)
 	wall := time.Since(start)
 
 	var lats []time.Duration
@@ -179,7 +181,10 @@ func main() {
 		if after["serve_points_done_total"] >= expected || ctx.Err() != nil {
 			break
 		}
-		time.Sleep(200 * time.Millisecond)
+		select {
+		case <-time.After(200 * time.Millisecond):
+		case <-ctx.Done():
+		}
 	}
 	served := after["serve_points_done_total"] - before["serve_points_done_total"]
 	ran := after["runner_points_run_total"] - before["runner_points_run_total"]

@@ -45,7 +45,8 @@ type Pass struct {
 }
 
 // Reportf records a finding at pos unless an allow comment for this
-// analyzer covers it.
+// analyzer covers it. A suppressing allow comment is marked used, which
+// keeps it out of the stale-allow report.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.allow.allows(p.Analyzer.Name, position) {
@@ -56,6 +57,27 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// FileAllowed reports whether a file-doc allow comment names this pass's
+// analyzer, and marks it used for the stale-allow report. Analyzers whose
+// unit of exemption is a whole file call this instead of FileAllows.
+func (p *Pass) FileAllowed(f *ast.File) bool {
+	allowed := false
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			continue
+		}
+		for _, c := range cg.List {
+			for _, n := range allowedNames(c.Text) {
+				if n == p.Analyzer.Name {
+					allowed = true
+					p.allow.markUsed(p.Fset.Position(c.Pos()), n)
+				}
+			}
+		}
+	}
+	return allowed
 }
 
 // Diagnostic is one finding, with a resolved source position.
@@ -73,10 +95,30 @@ func (d Diagnostic) String() string {
 // position-sorted, deduplicated findings. Packages whose load failed are
 // reported as errors by the loader, not here.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
+	out, err := RunAll(pkgs, analyzers, false)
+	return out.Diagnostics, err
+}
+
+// RunResult is RunAll's output: the findings plus, when requested, the
+// allow comments that suppressed nothing anywhere in the run.
+type RunResult struct {
+	Diagnostics []Diagnostic
+	StaleAllows []Diagnostic
+}
+
+// RunAll applies every analyzer to every package. With checkAllows set it
+// additionally reports every //alloyvet:allow entry that never suppressed
+// a finding (or names an analyzer not in this run) — a stale allow marks
+// code that moved or was fixed, and stale entries rot into blanket
+// exemptions if they are allowed to accumulate. Only meaningful on runs
+// that cover the whole tree including test variants; partial runs see
+// partial usage.
+func RunAll(pkgs []*Package, analyzers []*Analyzer, checkAllows bool) (RunResult, error) {
+	var out RunResult
 	seen := make(map[string]bool)
+	tracker := newAllowTracker()
 	for _, pkg := range pkgs {
-		allow := buildAllowIndex(pkg.Fset, pkg.Files)
+		allow := buildAllowIndex(pkg.Fset, pkg.Files, tracker)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -91,15 +133,27 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 					key := d.Pos.String() + "\x00" + d.Analyzer + "\x00" + d.Message
 					if !seen[key] {
 						seen[key] = true
-						diags = append(diags, d)
+						out.Diagnostics = append(out.Diagnostics, d)
 					}
 				},
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+				return out, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
+	sortDiags(out.Diagnostics)
+	if checkAllows {
+		known := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			known[a.Name] = true
+		}
+		out.StaleAllows = tracker.stale(known)
+	}
+	return out, nil
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -113,7 +167,21 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+}
+
+// InCone reports whether a package import path falls under any cone
+// entry, matching whole path segments: an entry matches the path itself,
+// a trailing suffix ("internal/serve" covers "alloysim/internal/serve"),
+// a leading prefix, or an interior run ("tools/analyzers" covers
+// "alloysim/tools/analyzers/anzkit").
+func InCone(path string, cone []string) bool {
+	for _, e := range cone {
+		if path == e || strings.HasSuffix(path, "/"+e) ||
+			strings.HasPrefix(path, e+"/") || strings.Contains(path, "/"+e+"/") {
+			return true
+		}
+	}
+	return false
 }
 
 // ---- annotation grammar ----
@@ -181,21 +249,105 @@ func FileAllows(f *ast.File, analyzer string) bool {
 	return false
 }
 
-// allowIndex resolves allow comments to (file, line, analyzer) coverage.
-type allowIndex struct {
-	// lines maps filename -> line -> analyzer names allowed on that line.
-	lines map[string]map[int][]string
+// Directive parses an "//alloyvet:<name> <arg>" comment and returns the
+// trimmed argument text. The grammar beyond allow/hotpath:
+//
+//	//alloyvet:guard mu        struct field is protected by mutex field mu
+//	//alloyvet:owner <who>     struct field has a single writer; no lock needed
+//	//alloyvet:detached <why>  audited fire-and-forget goroutine
+func Directive(text, name string) (arg string, ok bool) {
+	text = strings.TrimSpace(text)
+	prefix := "//alloyvet:" + name
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := text[len(prefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. //alloyvet:guardian is not //alloyvet:guard
+	}
+	return strings.TrimSpace(rest), true
 }
 
-func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
-	idx := &allowIndex{lines: make(map[string]map[int][]string)}
-	add := func(pos token.Position, names []string) {
+// FieldDirective scans a struct field's doc and trailing comments for an
+// "//alloyvet:<name>" directive and returns its argument.
+func FieldDirective(fld *ast.Field, name string) (arg string, ok bool) {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if arg, ok := Directive(c.Text, name); ok {
+				return arg, true
+			}
+		}
+	}
+	return "", false
+}
+
+// allowRecord is one (comment, analyzer-name) pair; used flips when the
+// allow suppresses a finding anywhere in the run.
+type allowRecord struct {
+	pos  token.Position
+	name string
+	used bool
+}
+
+// allowTracker dedupes allow records across packages: a file shared by a
+// package and its test variant contributes the same comment twice, and a
+// suppression in either analysis keeps the entry fresh.
+type allowTracker struct {
+	recs map[string]*allowRecord
+}
+
+func newAllowTracker() *allowTracker {
+	return &allowTracker{recs: make(map[string]*allowRecord)}
+}
+
+func (t *allowTracker) record(pos token.Position, name string) *allowRecord {
+	key := fmt.Sprintf("%s\x00%d\x00%s", pos.Filename, pos.Line, name)
+	if r := t.recs[key]; r != nil {
+		return r
+	}
+	r := &allowRecord{pos: pos, name: name}
+	t.recs[key] = r
+	return r
+}
+
+// stale returns one diagnostic per allow entry that suppressed nothing,
+// sorted by position. Entries naming analyzers outside the run set are
+// always stale: they can never fire.
+func (t *allowTracker) stale(known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, r := range t.recs {
+		if r.used {
+			continue
+		}
+		msg := fmt.Sprintf("stale //alloyvet:allow(%s): no %s finding here; remove it or re-anchor it to the code it covers", r.name, r.name)
+		if !known[r.name] {
+			msg = fmt.Sprintf("//alloyvet:allow(%s) names an unknown analyzer", r.name)
+		}
+		out = append(out, Diagnostic{Pos: r.pos, Analyzer: "allowstale", Message: msg})
+	}
+	sortDiags(out)
+	return out
+}
+
+// allowIndex resolves allow comments to (file, line, analyzer) coverage.
+type allowIndex struct {
+	// lines maps filename -> line -> allow entries covering that line.
+	lines   map[string]map[int][]*allowRecord
+	tracker *allowTracker
+}
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File, tracker *allowTracker) *allowIndex {
+	idx := &allowIndex{lines: make(map[string]map[int][]*allowRecord), tracker: tracker}
+	add := func(pos token.Position, recs []*allowRecord) {
 		m := idx.lines[pos.Filename]
 		if m == nil {
-			m = make(map[int][]string)
+			m = make(map[int][]*allowRecord)
 			idx.lines[pos.Filename] = m
 		}
-		m[pos.Line] = append(m[pos.Line], names...)
+		m[pos.Line] = append(m[pos.Line], recs...)
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -205,10 +357,14 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				recs := make([]*allowRecord, 0, len(names))
+				for _, n := range names {
+					recs = append(recs, tracker.record(pos, n))
+				}
 				// Cover the comment's own line (trailing form) and the
 				// next line (standalone form above the flagged code).
-				add(pos, names)
-				add(token.Position{Filename: pos.Filename, Line: pos.Line + 1}, names)
+				add(pos, recs)
+				add(token.Position{Filename: pos.Filename, Line: pos.Line + 1}, recs)
 			}
 		}
 		// Doc-comment form: cover the whole function body.
@@ -217,17 +373,20 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
 			if !ok || fn.Doc == nil || fn.Body == nil {
 				continue
 			}
-			var names []string
+			var recs []*allowRecord
 			for _, c := range fn.Doc.List {
-				names = append(names, allowedNames(c.Text)...)
+				cpos := fset.Position(c.Pos())
+				for _, n := range allowedNames(c.Text) {
+					recs = append(recs, tracker.record(cpos, n))
+				}
 			}
-			if len(names) == 0 {
+			if len(recs) == 0 {
 				continue
 			}
 			start := fset.Position(fn.Pos())
 			end := fset.Position(fn.Body.End())
 			for line := start.Line; line <= end.Line; line++ {
-				add(token.Position{Filename: start.Filename, Line: line}, names)
+				add(token.Position{Filename: start.Filename, Line: line}, recs)
 			}
 		}
 	}
@@ -239,10 +398,18 @@ func (idx *allowIndex) allows(analyzer string, pos token.Position) bool {
 	if m == nil {
 		return false
 	}
-	for _, n := range m[pos.Line] {
-		if n == analyzer {
+	for _, r := range m[pos.Line] {
+		if r.name == analyzer {
+			r.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// markUsed flags the allow record at a comment position as live; used by
+// Pass.FileAllowed, whose file-doc comments suppress whole files rather
+// than individual positions.
+func (idx *allowIndex) markUsed(pos token.Position, name string) {
+	idx.tracker.record(pos, name).used = true
 }

@@ -1,0 +1,365 @@
+// Intra-procedural control-flow graph and call-resolution helpers for the
+// concurrency analyzers (lockcheck's must-release dataflow, goloop's
+// lifecycle matching). The CFG is statement-level: a basic block holds
+// "units" — whole simple statements, or the scrutinee expression of a
+// control statement — and the builder refuses functions that use goto,
+// labels, or fallthrough rather than approximating them (callers skip
+// such functions; none exist in the service cone).
+package anzkit
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Unit is one executable step inside a basic block. Exactly one of the
+// first two fields is set, except for select statements, which contribute
+// a unit with only Origin set (their communication operations become
+// units of the successor blocks, still carrying the select as Origin).
+type Unit struct {
+	Stmt   ast.Stmt // a whole simple statement (assign, call, send, defer, go, return, decl)
+	Expr   ast.Expr // the condition/tag/range operand of a control statement
+	Origin ast.Stmt // the owning control statement for Expr and select/comm units
+}
+
+// Block is a basic block: units execute in order, then control moves to
+// one of Succs.
+type Block struct {
+	Index int
+	Units []Unit
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. Exit is virtual:
+// every return and the fall-off-the-end path lead to it. PanicExit
+// collects straight-line panic calls, which unwind with locks held
+// legitimately (deferred unlocks run) and are excluded from must-release
+// checks.
+type CFG struct {
+	Entry     *Block
+	Exit      *Block
+	PanicExit *Block
+	Blocks    []*Block
+}
+
+// Preds computes the predecessor lists of every block.
+func (g *CFG) Preds() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// BuildCFG builds the graph for a function body. ok is false when the
+// body uses goto, labeled statements, or fallthrough — control flow the
+// mini-builder does not model.
+func BuildCFG(body *ast.BlockStmt) (g *CFG, ok bool) {
+	g = &CFG{}
+	b := &cfgBuilder{g: g, ok: true}
+	g.Exit = b.block()
+	g.PanicExit = b.block()
+	g.Entry = b.block()
+	if out := b.stmts(body.List, g.Entry); out != nil {
+		edge(out, g.Exit)
+	}
+	if !b.ok {
+		return nil, false
+	}
+	return g, true
+}
+
+type cfgBuilder struct {
+	g         *CFG
+	ok        bool
+	breaks    []*Block
+	continues []*Block
+}
+
+func (b *cfgBuilder) block() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func edge(from, to *Block) { from.Succs = append(from.Succs, to) }
+
+// stmts threads a statement list through cur and returns the block that
+// control falls out of, or nil when every path terminated (return, panic,
+// break, continue). Statements after a terminator are unreachable and
+// skipped — the dataflow would never visit them anyway.
+func (b *cfgBuilder) stmts(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		if cur == nil || !b.ok {
+			return nil
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		cur.Units = append(cur.Units, Unit{Stmt: s})
+		edge(cur, b.g.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		if s.Label != nil || s.Tok == token.GOTO || s.Tok == token.FALLTHROUGH {
+			b.ok = false
+			return nil
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if len(b.breaks) == 0 {
+				b.ok = false
+				return nil
+			}
+			edge(cur, b.breaks[len(b.breaks)-1])
+		case token.CONTINUE:
+			if len(b.continues) == 0 {
+				b.ok = false
+				return nil
+			}
+			edge(cur, b.continues[len(b.continues)-1])
+		}
+		return nil
+
+	case *ast.LabeledStmt:
+		b.ok = false
+		return nil
+
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Units = append(cur.Units, Unit{Stmt: s.Init})
+		}
+		cur.Units = append(cur.Units, Unit{Expr: s.Cond, Origin: s})
+		after := b.block()
+		then := b.block()
+		edge(cur, then)
+		if out := b.stmts(s.Body.List, then); out != nil {
+			edge(out, after)
+		}
+		if s.Else != nil {
+			els := b.block()
+			edge(cur, els)
+			var out *Block
+			if eb, ok := s.Else.(*ast.BlockStmt); ok {
+				out = b.stmts(eb.List, els)
+			} else {
+				out = b.stmt(s.Else, els) // else-if chain
+			}
+			if out != nil {
+				edge(out, after)
+			}
+		} else {
+			edge(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Units = append(cur.Units, Unit{Stmt: s.Init})
+		}
+		head := b.block()
+		edge(cur, head)
+		after := b.block()
+		if s.Cond != nil {
+			head.Units = append(head.Units, Unit{Expr: s.Cond, Origin: s})
+			edge(head, after)
+		}
+		body := b.block()
+		edge(head, body)
+		cont := head
+		if s.Post != nil {
+			cont = b.block()
+			cont.Units = append(cont.Units, Unit{Stmt: s.Post})
+			edge(cont, head)
+		}
+		b.breaks = append(b.breaks, after)
+		b.continues = append(b.continues, cont)
+		out := b.stmts(s.Body.List, body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		if out != nil {
+			edge(out, cont)
+		}
+		return after
+
+	case *ast.RangeStmt:
+		head := b.block()
+		edge(cur, head)
+		head.Units = append(head.Units, Unit{Expr: s.X, Origin: s})
+		after := b.block()
+		edge(head, after)
+		body := b.block()
+		edge(head, body)
+		b.breaks = append(b.breaks, after)
+		b.continues = append(b.continues, head)
+		out := b.stmts(s.Body.List, body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		if out != nil {
+			edge(out, head)
+		}
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.Units = append(cur.Units, Unit{Stmt: s.Init})
+		}
+		if s.Tag != nil {
+			cur.Units = append(cur.Units, Unit{Expr: s.Tag, Origin: s})
+		}
+		after := b.block()
+		b.breaks = append(b.breaks, after)
+		hasDefault := false
+		for _, c := range s.Body.List {
+			clause := c.(*ast.CaseClause)
+			cb := b.block()
+			edge(cur, cb)
+			for _, e := range clause.List {
+				cb.Units = append(cb.Units, Unit{Expr: e, Origin: s})
+			}
+			if clause.List == nil {
+				hasDefault = true
+			}
+			if out := b.stmts(clause.Body, cb); out != nil {
+				edge(out, after)
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if !hasDefault {
+			edge(cur, after)
+		}
+		return after
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.Units = append(cur.Units, Unit{Stmt: s.Init})
+		}
+		cur.Units = append(cur.Units, Unit{Stmt: s.Assign, Origin: s})
+		after := b.block()
+		b.breaks = append(b.breaks, after)
+		hasDefault := false
+		for _, c := range s.Body.List {
+			clause := c.(*ast.CaseClause)
+			cb := b.block()
+			edge(cur, cb)
+			if clause.List == nil {
+				hasDefault = true
+			}
+			if out := b.stmts(clause.Body, cb); out != nil {
+				edge(out, after)
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if !hasDefault {
+			edge(cur, after)
+		}
+		return after
+
+	case *ast.SelectStmt:
+		cur.Units = append(cur.Units, Unit{Origin: s})
+		after := b.block()
+		b.breaks = append(b.breaks, after)
+		for _, c := range s.Body.List {
+			clause := c.(*ast.CommClause)
+			cb := b.block()
+			edge(cur, cb)
+			if clause.Comm != nil {
+				cb.Units = append(cb.Units, Unit{Stmt: clause.Comm, Origin: s})
+			}
+			if out := b.stmts(clause.Body, cb); out != nil {
+				edge(out, after)
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		return after
+
+	case *ast.ExprStmt:
+		cur.Units = append(cur.Units, Unit{Stmt: s})
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				edge(cur, b.g.PanicExit)
+				return nil
+			}
+		}
+		return cur
+
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.DeferStmt, *ast.GoStmt, *ast.EmptyStmt:
+		cur.Units = append(cur.Units, Unit{Stmt: s})
+		return cur
+
+	default:
+		b.ok = false
+		return nil
+	}
+}
+
+// Unparen strips any number of enclosing parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// CalleeFunc resolves a call to its statically-known function or method,
+// or nil for dynamic calls (func values, interface methods), builtins,
+// and type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return nil // interface method: dynamic dispatch
+		}
+	}
+	return fn
+}
+
+// IsDynamicCall reports whether a call invokes a function value or an
+// interface method — a callee the analyzers cannot see into, and from
+// lockcheck's point of view an arbitrary callback. Builtins, type
+// conversions, immediately-invoked func literals, and statically-known
+// functions are not dynamic.
+func IsDynamicCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		_, isVar := info.Uses[fun].(*types.Var)
+		return isVar
+	case *ast.SelectorExpr:
+		switch o := info.Uses[fun.Sel].(type) {
+		case *types.Var:
+			return true // func-typed field or package-level func variable
+		case *types.Func:
+			if sig, ok := o.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return types.IsInterface(sig.Recv().Type())
+			}
+		}
+	}
+	return false
+}

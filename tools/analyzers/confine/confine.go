@@ -71,7 +71,7 @@ func run(pass *anzkit.Pass) error {
 		return nil
 	}
 	for _, file := range pass.Files {
-		if anzkit.FileAllows(file, "confine") {
+		if pass.FileAllowed(file) {
 			continue
 		}
 		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {

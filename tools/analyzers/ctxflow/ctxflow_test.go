@@ -1,0 +1,35 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"alloysim/tools/analyzers/anzkit"
+	"alloysim/tools/analyzers/anztest"
+	"alloysim/tools/analyzers/ctxflow"
+)
+
+func TestGolden(t *testing.T) {
+	anztest.Run(t, "testdata", ctxflow.Analyzer)
+}
+
+func TestCone(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"alloysim/internal/serve", true},
+		{"alloysim/internal/obs", true},
+		{"alloysim/internal/experiments", true},
+		{"alloysim/cmd/alloysimd", true},
+		{"alloysim/cmd/alloysim", true},
+		{"alloysim/scripts/sweepload", true},
+		{"alloysim/tools/analyzers/anzkit", true}, // self-check
+		{"alloysim/internal/sim", false},          // confine's cone, not ours
+		{"alloysim/internal/core", false},
+	}
+	for _, tc := range cases {
+		if got := anzkit.InCone(tc.path, ctxflow.Cone); got != tc.want {
+			t.Errorf("InCone(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}

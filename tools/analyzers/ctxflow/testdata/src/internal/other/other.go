@@ -1,0 +1,10 @@
+// Package other sits outside the service cone: nothing fires here.
+package other
+
+import "context"
+
+func free(ctx context.Context, ch chan int) context.Context {
+	<-ch
+	_ = ctx
+	return context.Background()
+}

@@ -1,0 +1,12 @@
+package goloop_test
+
+import (
+	"testing"
+
+	"alloysim/tools/analyzers/anztest"
+	"alloysim/tools/analyzers/goloop"
+)
+
+func TestGolden(t *testing.T) {
+	anztest.Run(t, "testdata", goloop.Analyzer)
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"alloysim/tools/analyzers/anztest"
+	"alloysim/tools/analyzers/lockcheck"
+)
+
+func TestGolden(t *testing.T) {
+	anztest.Run(t, "testdata", lockcheck.Analyzer)
+}
