@@ -95,6 +95,8 @@ func main() {
 		traceSample = flag.Uint64("trace-sample", 64, "trace 1 in N reads below the L3 (0 disables tracing)")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address during the run")
 		manifestOut = flag.String("manifest", "", "write a run-provenance manifest (JSON) to this file")
+		tsOut       = flag.String("timeseries", "", "write the epoch-resolved phase time series to this file (a .json path selects JSON instead of CSV)")
+		flightOut   = flag.String("flight", "", "attach the flight recorder and write its dump (recent epochs + sampled spans) to this file; SIGQUIT prints the latest snapshot mid-run")
 	)
 	flag.Parse()
 
@@ -201,6 +203,13 @@ func main() {
 	man.Extra["workload"] = cfg.Workload
 	man.Extra["design"] = string(cfg.Design)
 
+	// The run ID is deterministic — derived from the configuration
+	// fingerprint, not a clock — so identical runs correlate identically:
+	// the same ID names the run in both the manifest and the trace-export
+	// metadata, and reruns of one configuration share it by construction.
+	runID := "r-" + strings.TrimPrefix(cfg.Fingerprint(), "cfg-")[:12]
+	man.Extra["run_id"] = runID
+
 	var reg *obs.Registry
 	if *metricsOut != "" || *debugAddr != "" {
 		reg = obs.NewRegistry()
@@ -208,6 +217,31 @@ func main() {
 	var trc *obs.Tracer
 	if *traceOut != "" || *traceCSV != "" {
 		trc = obs.NewTracer(*traceSample, 0)
+		trc.SetRunID(runID)
+	}
+	var ts *obs.TimeSeries
+	if *tsOut != "" {
+		ts = obs.NewTimeSeries(0)
+	}
+	var fr *obs.FlightRecorder
+	if *flightOut != "" {
+		fr = obs.NewFlightRecorder(0, 4096, 256)
+		// SIGQUIT prints the most recently published snapshot without
+		// stopping the run (snapshots refresh between engine quanta when a
+		// registry is attached).
+		quitCh := make(chan os.Signal, 1)
+		signal.Notify(quitCh, syscall.SIGQUIT)
+		defer signal.Stop(quitCh)
+		//alloyvet:detached signal listener for the process lifetime; exits with the process
+		go func() {
+			for range quitCh {
+				if snap, ok := fr.Snapshot(); ok {
+					fmt.Fprintf(os.Stderr, "alloysim: flight snapshot:\n%s\n", snap)
+				} else {
+					fmt.Fprintln(os.Stderr, "alloysim: no flight snapshot published yet")
+				}
+			}
+		}()
 	}
 	if *debugAddr != "" {
 		srv, err := obs.StartDebugServer(*debugAddr, reg)
@@ -227,12 +261,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "alloysim: debug server listening on %s\n", *debugAddr)
 	}
 
-	res, err := run(ctx, cfg, reg, trc)
+	res, err := run(ctx, cfg, reg, trc, ts, fr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "alloysim: %v\n", err)
 		os.Exit(1)
 	}
 	report(res)
+
+	if *tsOut != "" {
+		write := ts.WriteCSV
+		if strings.HasSuffix(*tsOut, ".json") {
+			write = ts.WriteJSON
+		}
+		if err := writeExport(*tsOut, write); err != nil {
+			fmt.Fprintf(os.Stderr, "alloysim: timeseries: %v\n", err)
+			os.Exit(1)
+		}
+		if d := ts.Drops(); d > 0 {
+			fmt.Fprintf(os.Stderr, "alloysim: timeseries kept the first %d epochs (%d dropped)\n", ts.Len(), d)
+		}
+	}
+	if *flightOut != "" {
+		if err := writeExport(*flightOut, fr.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "alloysim: flight: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *traceOut != "" {
 		if err := writeExport(*traceOut, trc.WriteChromeTrace); err != nil {
@@ -269,7 +323,7 @@ func main() {
 		bcfg := cfg
 		bcfg.Design = core.DesignNone
 		bcfg.Predictor = core.PredDefault
-		base, err := run(ctx, bcfg, nil, nil)
+		base, err := run(ctx, bcfg, nil, nil, nil, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "alloysim: baseline: %v\n", err)
 			os.Exit(1)
@@ -279,12 +333,14 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, cfg core.Config, reg *obs.Registry, trc *obs.Tracer) (core.Result, error) {
+func run(ctx context.Context, cfg core.Config, reg *obs.Registry, trc *obs.Tracer, ts *obs.TimeSeries, fr *obs.FlightRecorder) (core.Result, error) {
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return core.Result{}, err
 	}
 	sys.EnableObservability(reg, trc)
+	sys.EnableTimeSeries(ts)
+	sys.EnableFlightRecorder(fr)
 	return sys.RunContext(ctx)
 }
 

@@ -20,6 +20,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -47,6 +48,7 @@ func run() error {
 		quota      = flag.Int("tenant-quota", 0, "in-flight job quota per X-Tenant (0 = serve default, negative = unlimited)")
 		cacheSize  = flag.Int("result-cache", 0, "content-addressed result LRU entries (0 = serve default)")
 		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM before in-flight jobs are aborted")
+		logLevel   = flag.String("log-level", "info", "structured-log threshold: debug, info, warn, error, or off")
 
 		scale  = flag.Uint64("scale", 64, "capacity/footprint scale divisor")
 		instr  = flag.Uint64("instr", 1_500_000, "instructions per core")
@@ -70,6 +72,16 @@ func run() error {
 	p.Shards = *shards
 	p.Progress = os.Stderr
 
+	// One slog logger is shared by the daemon and the runner, so a job's
+	// admission record and the simulation records it causes interleave in
+	// one stream, all carrying the same req_id. The human-oriented
+	// progress lines above stay on plain stderr — scripts grep them.
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		return err
+	}
+	p.Logger = logger
+
 	r := experiments.NewRunner(p)
 	if *checkpoint != "" {
 		restored, err := r.EnableCheckpoint(*checkpoint)
@@ -86,7 +98,26 @@ func run() error {
 		QueueDepth:   *queueDepth,
 		TenantQuota:  *quota,
 		CacheEntries: *cacheSize,
+		Logger:       logger,
 	}, reg)
+
+	// SIGQUIT is the black-box dump: print the most recent flight
+	// recording (last epochs + sampled spans of the newest completed
+	// simulation) without stopping the daemon. The same dump is served at
+	// /debug/flightrecorder and attached to failure records.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	defer signal.Stop(quitCh)
+	//alloyvet:detached signal listener for the process lifetime; exits with the process
+	go func() {
+		for range quitCh {
+			if pt, dump, ok := r.LastFlightDump(); ok {
+				fmt.Fprintf(os.Stderr, "alloysimd: flight recording for %s:\n%s\n", pt, dump)
+			} else {
+				fmt.Fprintln(os.Stderr, "alloysimd: no flight recording yet (no point has run)")
+			}
+		}
+	}()
 
 	// The daemon's snapshot cadence: unlike the single-run CLIs (whose
 	// quantum loop publishes between quanta), many simulations run at
@@ -157,4 +188,25 @@ func runnersOrDefault(w int) int {
 		return 4
 	}
 	return w
+}
+
+// newLogger builds the daemon's structured logger on stderr, or nil for
+// "off" (nil disables slog output throughout serve and the runner).
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "off":
+		return nil, nil
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, error, or off)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }

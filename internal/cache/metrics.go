@@ -15,3 +15,17 @@ func (c *Cache) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.RegisterGaugeFunc(prefix+"_hit_rate", "hits over demand accesses", func() float64 { return c.stats.HitRate() })
 	reg.RegisterGaugeFunc(prefix+"_occupancy_lines", "valid lines currently resident", func() float64 { return float64(c.Occupancy()) })
 }
+
+// RegisterTimeSeries exposes the cache's event counters as phase
+// time-series columns; hit rate per epoch is derived by readers from the
+// hits/misses deltas. Occupancy rides along as a uint64 level — it is
+// the one non-monotone column, and the phase figures read it directly.
+func (c *Cache) RegisterTimeSeries(sink obs.ColumnSink, prefix string) {
+	sink.AddColumn(prefix+"_hits_total", func() uint64 { return c.stats.Hits })
+	sink.AddColumn(prefix+"_misses_total", func() uint64 { return c.stats.Misses })
+	sink.AddColumn(prefix+"_write_hits_total", func() uint64 { return c.stats.WriteHits })
+	sink.AddColumn(prefix+"_write_misses_total", func() uint64 { return c.stats.WriteMisses })
+	sink.AddColumn(prefix+"_evictions_total", func() uint64 { return c.stats.Evictions })
+	sink.AddColumn(prefix+"_writebacks_total", func() uint64 { return c.stats.Writebacks })
+	sink.AddColumn(prefix+"_occupancy_lines", func() uint64 { return uint64(c.Occupancy()) })
+}

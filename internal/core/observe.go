@@ -83,6 +83,68 @@ func (s *System) registerFrontEndMetrics(reg *obs.Registry) {
 	}
 }
 
+// EnableTimeSeries attaches a phase time-series sampler. Call it after
+// NewSystem and before Run; RunContext samples the registered columns at
+// epoch 0, at every cancelQuantum boundary, and once at drain. Only
+// engine-goroutine-owned counters are registered — never the sharded
+// front-end's worker-owned stats — which is what makes the exported
+// series byte-identical across -shards counts: the engine replay is
+// bit-identical at every quantum boundary regardless of worker count.
+// Like EnableObservability, registration captures read-back closures
+// only; simulation results are unchanged.
+func (s *System) EnableTimeSeries(ts *obs.TimeSeries) {
+	if ts == nil {
+		return
+	}
+	s.ts = ts
+	s.registerColumns(ts)
+}
+
+// EnableFlightRecorder attaches the always-on black box: the same column
+// set as EnableTimeSeries sampled into a fixed ring of recent epochs,
+// plus the recorder's sparse lifecycle tracer installed as the system
+// tracer when no explicit one is attached (an explicit tracer wins; the
+// recorder then dumps without spans). Negligible cost: a few dozen
+// closure reads per 2^16 cycles and a 1-in-N counter probe per request.
+func (s *System) EnableFlightRecorder(fr *obs.FlightRecorder) {
+	if fr == nil {
+		return
+	}
+	s.fr = fr
+	s.registerColumns(fr)
+	if s.trc == nil {
+		s.trc = fr.Tracer()
+	}
+}
+
+// registerColumns registers the engine-owned phase columns into a sink;
+// shared by EnableTimeSeries and EnableFlightRecorder so both consumers
+// see the same schema. The sampled cycle itself is the row key, so the
+// engine contributes only its event counters. Per-bank columns are
+// registered for the stacked device only (the object of the paper's
+// bank-occupancy analysis); the off-chip device exports aggregates.
+func (s *System) registerColumns(sink obs.ColumnSink) {
+	s.eng.RegisterTimeSeries(sink, "sim_engine")
+	s.l3.RegisterTimeSeries(sink, "l3")
+	s.mem.RegisterTimeSeries(sink, "dram_offchip")
+	s.stacked.RegisterTimeSeries(sink, "dram_stacked")
+	if s.org != nil {
+		s.org.RegisterTimeSeries(sink, "dramcache")
+		s.acc.RegisterTimeSeries(sink, "predictor")
+		s.stacked.RegisterBankTimeSeries(sink, "dram_stacked")
+	}
+	sink.AddColumn("below_reads_total", func() uint64 { return s.belowReads.Value() })
+	sink.AddColumn("below_writes_total", func() uint64 { return s.belowWrites.Value() })
+	sink.AddColumn("wasted_mem_reads_total", func() uint64 { return s.wastedMemReads.Value() })
+}
+
+// TimeSeries returns the attached sampler (nil when disabled); the CLIs
+// use it to export the series after the run.
+func (s *System) TimeSeries() *obs.TimeSeries { return s.ts }
+
+// FlightRecorder returns the attached recorder (nil when disabled).
+func (s *System) FlightRecorder() *obs.FlightRecorder { return s.fr }
+
 // Tracer returns the attached tracer (nil when tracing is off); the CLIs
 // use it to export the trace files after the run.
 func (s *System) Tracer() *obs.Tracer { return s.trc }

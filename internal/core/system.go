@@ -62,6 +62,15 @@ type System struct {
 	// quanta so debug-server scrapes never read live component fields.
 	reg *obs.Registry
 
+	// ts samples phase time-series columns at epoch boundaries and fr is
+	// the always-on flight recorder ring; both nil when disabled, both
+	// sampled only from the engine goroutine at quantum boundaries
+	// (sampleTelemetry), and both restricted to engine-owned counters so
+	// sharded runs export identical series. Set via EnableTimeSeries /
+	// EnableFlightRecorder.
+	ts *obs.TimeSeries
+	fr *obs.FlightRecorder
+
 	// Pooled engine events for the fill path (see events.go); freelists
 	// keep steady-state scheduling allocation-free.
 	fillFree *fillEvent
@@ -230,17 +239,38 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 		s.cores = append(s.cores, c)
 		c.Start()
 	}
+	// Epoch 0: the post-warmup state, before any measured event runs.
+	// Subsequent samples land exactly at cancelQuantum boundaries — the
+	// same boundaries in serial and sharded mode, and the engine replay
+	// is bit-identical across shard counts, so the sampled series is too.
+	s.sampleTelemetry()
 	limit := s.eng.Now() + cancelQuantum
 	for !s.eng.RunUntil(limit) {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
+		s.sampleTelemetry()
 		s.publishMetrics()
 		limit += cancelQuantum
 	}
 
+	// Final epoch: the drained end-of-run state (generally not on a
+	// quantum boundary; the cycle column records where it landed).
+	s.sampleTelemetry()
 	s.publishMetrics()
 	return s.collect(), nil
+}
+
+// sampleTelemetry snapshots the registered time-series and flight-
+// recorder columns at the current engine cycle. Runs on the simulation
+// goroutine at quantum boundaries; reads counters, changes nothing.
+func (s *System) sampleTelemetry() {
+	if s.ts == nil && s.fr == nil {
+		return
+	}
+	now := s.eng.Now().Count()
+	s.ts.Sample(now)
+	s.fr.Sample(now)
 }
 
 // publishMetrics renders a registry snapshot for concurrent /metrics
@@ -252,7 +282,16 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 // perturb event order, so results stay byte-identical with or without an
 // attached registry.
 func (s *System) publishMetrics() {
-	if s.reg == nil || s.cfg.effectiveShards() > 1 {
+	if s.reg == nil {
+		return
+	}
+	// The flight-recorder snapshot covers engine-owned columns only, so
+	// it is safe to render even while front-end workers are live. It is
+	// gated on an attached registry: a recorder without a debug surface
+	// (the runner's always-on black box) skips per-quantum rendering and
+	// is only serialized when a failure dump is actually needed.
+	s.fr.PublishSnapshot()
+	if s.cfg.effectiveShards() > 1 {
 		return
 	}
 	s.reg.PublishSnapshot()

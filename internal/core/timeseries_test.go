@@ -1,0 +1,191 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"alloysim/internal/obs"
+)
+
+// runWithTelemetry runs cfg with a TimeSeries and FlightRecorder attached
+// and returns the result plus both samplers.
+func runWithTelemetry(t *testing.T, cfg Config) (Result, *obs.TimeSeries, *obs.FlightRecorder) {
+	t.Helper()
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := obs.NewTimeSeries(1 << 12)
+	fr := obs.NewFlightRecorder(32, 1024, 256)
+	s.EnableTimeSeries(ts)
+	s.EnableFlightRecorder(fr)
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, ts, fr
+}
+
+// TestTelemetryInert is TestObservabilityInert for the phase samplers: a
+// run with a TimeSeries and an always-on FlightRecorder (including its
+// sparse lifecycle tracer installed as the system tracer) must produce a
+// Result identical in every field to a plain run.
+func TestTelemetryInert(t *testing.T) {
+	cfg := smallConfig("mcf_r", DesignAlloy)
+	plain := runOne(t, cfg)
+	instr, ts, fr := runWithTelemetry(t, cfg)
+	if !reflect.DeepEqual(plain, instr) {
+		t.Fatalf("telemetry perturbed the simulation:\nplain %+v\ninstr %+v", plain, instr)
+	}
+	if ts.Len() < 2 {
+		t.Fatalf("TimeSeries sampled %d epochs, want >= 2 (epoch 0 + drain)", ts.Len())
+	}
+	if fr.Len() < 2 {
+		t.Fatalf("FlightRecorder retained %d epochs, want >= 2", fr.Len())
+	}
+}
+
+// TestTimeSeriesReconcilesWithResult: the final epoch row snapshots the
+// end-of-run counters, so its values must agree with the Result the same
+// run returned.
+func TestTimeSeriesReconcilesWithResult(t *testing.T) {
+	cfg := smallConfig("mcf_r", DesignAlloy)
+	res, ts, _ := runWithTelemetry(t, cfg)
+	last := ts.Len() - 1
+	check := func(col string, want uint64) {
+		t.Helper()
+		i := ts.ColumnIndex(col)
+		if i < 0 {
+			t.Fatalf("column %s not registered", col)
+		}
+		if got := ts.Value(last, i); got != want {
+			t.Errorf("%s final epoch = %d, Result says %d", col, got, want)
+		}
+	}
+	check("below_reads_total", res.BelowReads)
+	check("below_writes_total", res.BelowWrites)
+	check("wasted_mem_reads_total", res.WastedMemReads)
+	check("l3_hits_total", res.L3.Hits)
+	check("l3_misses_total", res.L3.Misses)
+	check("dram_offchip_reads_total", res.MemStats.Reads)
+	check("dram_stacked_reads_total", res.StackedStats.Reads)
+	check("predictor_cache_pred_mem_total", res.Accuracy.CachePredMem)
+	check("predictor_mem_pred_mem_total", res.Accuracy.MemPredMem)
+
+	// Monotonicity of counter columns across epochs.
+	for _, col := range []string{"below_reads_total", "l3_misses_total", "dram_offchip_reads_total"} {
+		i := ts.ColumnIndex(col)
+		var prev uint64
+		for r := 0; r < ts.Len(); r++ {
+			v := ts.Value(r, i)
+			if v < prev {
+				t.Fatalf("%s not monotone at epoch %d: %d < %d", col, r, v, prev)
+			}
+			prev = v
+		}
+	}
+	// Cycle column strictly increases.
+	for r := 1; r < ts.Len(); r++ {
+		if ts.Cycle(r) <= ts.Cycle(r-1) {
+			t.Fatalf("cycle not increasing at epoch %d: %d <= %d", r, ts.Cycle(r), ts.Cycle(r-1))
+		}
+	}
+}
+
+// TestPerBankColumnsSumToReads: the stacked device's per-bank access
+// columns partition its total read count.
+func TestPerBankColumnsSumToReads(t *testing.T) {
+	cfg := smallConfig("mcf_r", DesignAlloy)
+	res, ts, _ := runWithTelemetry(t, cfg)
+	last := ts.Len() - 1
+	var sum uint64
+	n := 0
+	for i, col := range ts.Columns() {
+		if strings.HasPrefix(col, "dram_stacked_bank") && strings.HasSuffix(col, "_accesses_total") {
+			sum += ts.Value(last, i)
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no per-bank columns registered")
+	}
+	if sum != res.StackedStats.Reads {
+		t.Fatalf("per-bank accesses sum %d != stacked reads %d (over %d banks)", sum, res.StackedStats.Reads, n)
+	}
+}
+
+// TestTimeSeriesByteIdenticalAcrossShards is the acceptance gate: the
+// phase export is a pure function of the configuration — identical bytes
+// across repeated runs and across front-end shard counts, because only
+// engine-owned counters are sampled and the engine replay is
+// bit-identical at every quantum boundary.
+func TestTimeSeriesByteIdenticalAcrossShards(t *testing.T) {
+	cfg := shardConfig("mcf_r", DesignAlloy)
+	export := func(shards int) string {
+		c := cfg
+		c.Shards = shards
+		_, ts, _ := runWithTelemetry(t, c)
+		var sb strings.Builder
+		if err := ts.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if err := ts.WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	ref := export(0) // serial
+	if again := export(0); again != ref {
+		t.Fatal("repeated serial runs exported different bytes")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		if got := export(shards); got != ref {
+			t.Fatalf("shards=%d exported different bytes than serial", shards)
+		}
+	}
+}
+
+// TestFlightRecorderCapturesRecentState: after a run the recorder's dump
+// contains the most recent epochs and parses as the documented schema.
+func TestFlightRecorderCapturesRecentState(t *testing.T) {
+	cfg := smallConfig("mcf_r", DesignAlloy)
+	_, ts, fr := runWithTelemetry(t, cfg)
+	var sb strings.Builder
+	if err := fr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dump := sb.String()
+	if !strings.Contains(dump, `"columns":["cycle","sim_engine_events_total"`) {
+		t.Fatalf("dump missing column header: %s", dump[:120])
+	}
+	if !strings.Contains(dump, `"spans_sampled":`) {
+		t.Fatal("dump missing spans section")
+	}
+	// The recorder's newest row is the same final epoch the TimeSeries
+	// kept, so their last cycles agree.
+	lastCycle := ts.Cycle(ts.Len() - 1)
+	if fr.Len() == 0 {
+		t.Fatal("empty recorder after run")
+	}
+	wantFrag := "[" + uitoa(lastCycle) + ","
+	if !strings.Contains(dump, wantFrag) {
+		t.Fatalf("dump missing final epoch row at cycle %d", lastCycle)
+	}
+}
+
+func uitoa(v uint64) string {
+	var sb strings.Builder
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	sb.Write(buf[i:])
+	return sb.String()
+}

@@ -113,10 +113,11 @@ func (c Config) LinesPerRow() int { return c.RowBytes / memaddr.LineSizeBytes }
 const noRow = ^uint64(0)
 
 type bank struct {
-	openRow uint64 // noRow when closed
-	ready   Cycle  // earliest cycle the bank accepts its next command
-	actAt   Cycle  // activation time of the open row (for tRAS)
-	lastUse Cycle  // last column command (for the idle-close timer)
+	openRow  uint64 // noRow when closed
+	ready    Cycle  // earliest cycle the bank accepts its next command
+	actAt    Cycle  // activation time of the open row (for tRAS)
+	lastUse  Cycle  // last column command (for the idle-close timer)
+	accesses uint64 // read requests decoded to this bank (phase telemetry)
 }
 
 // The three bank-state transitions below are the DRAM protocol's legal
@@ -348,6 +349,7 @@ func (d *DRAM) AccessRowInto(now Cycle, row uint64, burst Cycle, write bool, out
 		return
 	}
 	d.stats.Reads++
+	b.accesses++
 
 	start := now
 	if b.ready > start {

@@ -1,6 +1,10 @@
 package dram
 
-import "alloysim/internal/obs"
+import (
+	"fmt"
+
+	"alloysim/internal/obs"
+)
 
 // RegisterMetrics exposes the device's activity counters in reg under the
 // given prefix (e.g. "dram_offchip"). Registration only captures read-back
@@ -16,3 +20,36 @@ func (d *DRAM) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.RegisterCounterFunc(prefix+"_bank_wait_cycles_total", "cumulative cycles requests waited for their bank", func() uint64 { return d.stats.TotalWait.Count() })
 	reg.RegisterGaugeFunc(prefix+"_row_hit_rate", "fraction of accesses hitting an open row", func() float64 { return d.stats.RowHitRate() })
 }
+
+// RegisterTimeSeries exposes the device's activity counters as phase
+// time-series columns (rates like row_hit_rate are derived by readers
+// from epoch deltas, so only raw counts are registered).
+func (d *DRAM) RegisterTimeSeries(sink obs.ColumnSink, prefix string) {
+	sink.AddColumn(prefix+"_reads_total", func() uint64 { return d.stats.Reads })
+	sink.AddColumn(prefix+"_writes_total", func() uint64 { return d.stats.Writes })
+	sink.AddColumn(prefix+"_row_hits_total", func() uint64 { return d.stats.RowHits })
+	sink.AddColumn(prefix+"_row_misses_total", func() uint64 { return d.stats.RowMisses })
+	sink.AddColumn(prefix+"_row_conflicts_total", func() uint64 { return d.stats.RowConflict })
+	sink.AddColumn(prefix+"_refresh_stalls_total", func() uint64 { return d.stats.RefreshStalls })
+	sink.AddColumn(prefix+"_bus_busy_cycles_total", func() uint64 { return d.stats.BusBusy.Count() })
+	sink.AddColumn(prefix+"_bank_wait_cycles_total", func() uint64 { return d.stats.TotalWait.Count() })
+}
+
+// RegisterBankTimeSeries adds one read-access column per physical bank
+// (prefix_bank00_accesses_total, ...), the raw material of the per-bank
+// occupancy phase figure. Registered separately from the aggregate
+// columns because a device can have hundreds of banks; callers opt in
+// for the device they are studying (the stacked DRAM cache).
+func (d *DRAM) RegisterBankTimeSeries(sink obs.ColumnSink, prefix string) {
+	for i := range d.banks {
+		b := &d.banks[i]
+		sink.AddColumn(fmt.Sprintf("%s_bank%02d_accesses_total", prefix, i), func() uint64 { return b.accesses })
+	}
+}
+
+// BankAccesses returns the read-access count of flat bank index i; test
+// and phase-figure accessor.
+func (d *DRAM) BankAccesses(i int) uint64 { return d.banks[i].accesses }
+
+// NumBanks returns the total flat bank count (channels x banks/channel).
+func (d *DRAM) NumBanks() int { return len(d.banks) }

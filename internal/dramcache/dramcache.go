@@ -99,6 +99,9 @@ type Organization interface {
 	// RegisterMetrics exposes the organization's counters in reg under
 	// the given prefix. Registration is setup-time only.
 	RegisterMetrics(reg *obs.Registry, prefix string)
+	// RegisterTimeSeries exposes the organization's counters as phase
+	// time-series columns under the given prefix. Setup-time only.
+	RegisterTimeSeries(sink obs.ColumnSink, prefix string)
 }
 
 // base carries the machinery shared by all organizations.
@@ -156,6 +159,16 @@ func (b *base) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.RegisterCounterFunc(prefix+"_row_buffer_hits_total", "demand accesses whose first DRAM access hit an open row", func() uint64 { return b.rowHits.Value() })
 	reg.RegisterGaugeFunc(prefix+"_row_buffer_hit_rate", "row-buffer hit fraction of demand accesses", func() float64 { return b.RowBufferHitRate() })
 	reg.RegisterGaugeFunc(prefix+"_hit_latency_mean_cycles", "mean cache-internal hit latency", func() float64 { return b.hitLat.Value() })
+}
+
+// RegisterTimeSeries implements Organization for every design that embeds
+// base: the tag-store counters plus the organization-level access and row
+// locality counts (the hit-rate-vs-time phase figure divides the epoch
+// deltas of tags hits over accesses).
+func (b *base) RegisterTimeSeries(sink obs.ColumnSink, prefix string) {
+	b.tags.RegisterTimeSeries(sink, prefix+"_tags")
+	sink.AddColumn(prefix+"_accesses_total", func() uint64 { return b.accs.Value() })
+	sink.AddColumn(prefix+"_row_buffer_hits_total", func() uint64 { return b.rowHits.Value() })
 }
 
 // RowBufferHitRater is implemented by organizations exposing row-locality

@@ -1,0 +1,46 @@
+// Request correlation: a request/job ID minted at admission (by the
+// daemon, a CLI, or a test) rides the context through every layer that
+// acts on its behalf — the singleflight, the simulations, log lines,
+// trace exports — so one grep over structured logs reconstructs the
+// request's life end to end.
+
+package experiments
+
+import (
+	"context"
+	"log/slog"
+)
+
+type reqIDKey struct{}
+
+// WithRequestID returns a context carrying the correlation ID. IDs are
+// opaque strings; the daemon uses its job IDs ("j-000042"), the CLIs a
+// fingerprint-derived run ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestIDFrom extracts the correlation ID, or "" when the context
+// carries none.
+func RequestIDFrom(ctx context.Context) string {
+	if id, ok := ctx.Value(reqIDKey{}).(string); ok {
+		return id
+	}
+	return ""
+}
+
+// logw emits one structured log record when a logger is configured.
+// The runner's human-oriented progress lines are unchanged (scripts grep
+// them); slog output is additive and carries the correlation ID.
+func (r *Runner) logw(ctx context.Context, level slog.Level, msg string, args ...any) {
+	if r.p.Logger == nil {
+		return
+	}
+	if id := RequestIDFrom(ctx); id != "" {
+		args = append(args, slog.String("req_id", id))
+	}
+	r.p.Logger.Log(ctx, level, msg, args...)
+}

@@ -23,6 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table3", "table4", "table5", "table6", "table7",
 		"sec27", "sec56", "sec65", "sec67",
 		"abl-mlp", "abl-wbuf", "abl-chan", "abl-l3pol", "abl-seeds", "table4sim",
+		"phase",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

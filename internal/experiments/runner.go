@@ -9,8 +9,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -57,6 +59,18 @@ type Params struct {
 	// for every value — like Parallelism it steers execution, not
 	// outcomes, and is excluded from the checkpoint fingerprint.
 	Shards int
+	// Logger, when non-nil, receives structured point-lifecycle records
+	// (run/retry/failure) tagged with the request ID carried by the
+	// caller's context (WithRequestID). Additive: the human-oriented
+	// Progress lines are unchanged. Excluded from the checkpoint
+	// fingerprint like Progress.
+	Logger *slog.Logger
+	// DisableFlight turns off the per-simulation flight recorder. The
+	// recorder is on by default (its cost is a handful of counter reads
+	// per 2^16 cycles) so every failure record carries the final epochs
+	// of the run that produced it; benchmarks measuring the simulator
+	// alone may switch it off.
+	DisableFlight bool
 }
 
 // DefaultParams returns the scale used for the committed EXPERIMENTS.md
@@ -114,7 +128,23 @@ type Runner struct {
 	// count or fail executions without paying for real simulations.
 	//alloyvet:owner NewRunner; immutable outside tests
 	simulate func(ctx context.Context, pt Point) (core.Result, error)
+
+	// flights retains the flight-recorder dump of each point's most
+	// recent execution (success or failure), bounded to flightCap
+	// entries evicted oldest-first. Failure dumps also land in the
+	// point's FailureRecord; success dumps serve the validate harness,
+	// which attaches them to gate-trip reports after runs complete.
+	flights []flightEntry //alloyvet:guard mu
 }
+
+// flightEntry pairs a point with its most recent flight dump.
+type flightEntry struct {
+	pt   Point
+	dump string
+}
+
+// flightCap bounds how many per-point flight dumps the runner retains.
+const flightCap = 16
 
 // inflightCall is the singleflight record for one running Point.
 type inflightCall struct {
@@ -130,11 +160,14 @@ type inflightCall struct {
 }
 
 // FailureRecord describes the final outcome of a point whose every
-// attempt failed.
+// attempt failed. Flight holds the flight-recorder dump (JSON) captured
+// from the failing simulation's last attempt — the epochs leading up to
+// the failure — when the recorder was enabled.
 type FailureRecord struct {
 	Point    Point
 	Attempts int
 	Err      string
+	Flight   string
 }
 
 // Metrics summarizes runner activity. All durations are wall time spent
@@ -275,6 +308,10 @@ func (r *Runner) Run(ctx context.Context, workload string, d core.Design, pk cor
 		if c, ok := r.inflight[key]; ok {
 			r.m.FlightJoins++
 			r.mu.Unlock()
+			// The joiner's request ID is logged here; the leader's was (or
+			// will be) logged by its own "point complete" record. Together
+			// they make singleflight coalescing reconstructable per request.
+			r.logw(ctx, slog.LevelDebug, "point joined inflight leader", slog.String("point", key.String()))
 			select {
 			case <-c.done:
 				if c.abandoned {
@@ -358,6 +395,9 @@ func (r *Runner) runPoint(ctx context.Context, key Point) (core.Result, error) {
 			delete(r.failures, key)
 			r.mu.Unlock()
 			r.progressf("  ran %s in %.2fs (attempt %d)\n", key, elapsed.Seconds(), attempt)
+			r.logw(ctx, slog.LevelInfo, "point complete",
+				slog.String("point", key.String()), slog.Int("attempt", attempt),
+				slog.Float64("wall_s", elapsed.Seconds()))
 			return res, nil
 		}
 		lastErr = err
@@ -371,6 +411,9 @@ func (r *Runner) runPoint(ctx context.Context, key Point) (core.Result, error) {
 			r.m.Retries++
 			r.mu.Unlock()
 			r.progressf("  retrying %s after attempt %d: %v\n", key, attempt, err)
+			r.logw(ctx, slog.LevelWarn, "point retrying",
+				slog.String("point", key.String()), slog.Int("attempt", attempt),
+				slog.String("error", err.Error()))
 		}
 	}
 	// A leader abandoned by its own context is not a point failure: the
@@ -380,6 +423,9 @@ func (r *Runner) runPoint(ctx context.Context, key Point) (core.Result, error) {
 		r.mu.Lock()
 		r.m.Failures++
 		r.mu.Unlock()
+		r.logw(ctx, slog.LevelError, "point failed",
+			slog.String("point", key.String()), slog.Int("attempts", attempts),
+			slog.String("error", lastErr.Error()))
 	}
 	return core.Result{}, lastErr
 }
@@ -392,8 +438,32 @@ func (p permanentError) Error() string { return p.err.Error() }
 func (p permanentError) Unwrap() error { return p.err }
 
 // simulatePoint is the real point execution: build a system from the
-// runner params and run it under ctx.
+// runner params and run it under ctx, with the always-on flight
+// recorder attached so a failing run leaves its final epochs behind.
 func (r *Runner) simulatePoint(ctx context.Context, key Point) (core.Result, error) {
+	sys, err := core.NewSystem(r.pointConfig(key))
+	if err != nil {
+		return core.Result{}, permanentError{err}
+	}
+	var fr *obs.FlightRecorder
+	if !r.p.DisableFlight {
+		fr = obs.NewFlightRecorder(64, 4096, 256)
+		sys.EnableFlightRecorder(fr)
+	}
+	res, err := sys.RunContext(ctx)
+	if fr != nil {
+		var sb strings.Builder
+		if werr := fr.WriteJSON(&sb); werr == nil {
+			r.noteFlight(key, sb.String())
+		}
+	}
+	return res, err
+}
+
+// pointConfig derives the core.Config one point simulates under the
+// runner's params — the single source of truth shared by the memoized
+// sweep and the phase experiment's instrumented direct runs.
+func (r *Runner) pointConfig(key Point) core.Config {
 	cfg := core.DefaultConfig(key.Workload)
 	cfg.Design = key.Design
 	cfg.Predictor = key.Predictor
@@ -407,14 +477,57 @@ func (r *Runner) simulatePoint(ctx context.Context, key Point) (core.Result, err
 	if key.CacheMB > 0 {
 		cfg.DRAMCacheBytes = key.CacheMB << 20
 	}
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
-		return core.Result{}, permanentError{err}
-	}
-	return sys.RunContext(ctx)
+	return cfg
 }
 
-// recordFailure updates the per-point failure record.
+// noteFlight records a point's most recent flight dump, evicting the
+// oldest entry past flightCap.
+func (r *Runner) noteFlight(key Point, dump string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.flights {
+		if r.flights[i].pt == key {
+			r.flights[i].dump = dump
+			return
+		}
+	}
+	r.flights = append(r.flights, flightEntry{pt: key, dump: dump})
+	if len(r.flights) > flightCap {
+		r.flights = r.flights[1:]
+	}
+}
+
+// FlightDump returns the flight-recorder dump of the point's most recent
+// execution, if still retained.
+func (r *Runner) FlightDump(pt Point) (string, bool) {
+	key := r.normalize(pt)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.flights {
+		if r.flights[i].pt == key {
+			return r.flights[i].dump, true
+		}
+	}
+	return "", false
+}
+
+// LastFlightDump returns the most recently recorded flight dump and its
+// point; the daemon's SIGQUIT handler dumps it as the best available
+// "what was the simulator just doing" record.
+func (r *Runner) LastFlightDump() (Point, string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.flights) == 0 {
+		return Point{}, "", false
+	}
+	e := r.flights[len(r.flights)-1]
+	return e.pt, e.dump, true
+}
+
+// recordFailure updates the per-point failure record, attaching the
+// flight dump the failing attempt left behind (noteFlight runs inside
+// simulatePoint, so by the time the error propagates here the dump for
+// this point is already retained).
 func (r *Runner) recordFailure(key Point, attempt int, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -425,6 +538,12 @@ func (r *Runner) recordFailure(key Point, attempt int, err error) {
 	}
 	f.Attempts = attempt
 	f.Err = err.Error()
+	for i := range r.flights {
+		if r.flights[i].pt == key {
+			f.Flight = r.flights[i].dump
+			break
+		}
+	}
 }
 
 // FailureRecords returns the final failure record of every point whose
@@ -464,7 +583,11 @@ func (r *Runner) WriteSummary(w io.Writer) {
 		m.PointsRun, m.MemoHits, m.CheckpointHits, m.FlightJoins, m.Retries, m.Failures,
 		m.SimWall.Seconds(), mean.Seconds(), m.MaxPointWall.Seconds())
 	for _, f := range r.FailureRecords() {
-		r.pw.Fprintf(w, "  failed: %s after %d attempt(s): %s\n", f.Point, f.Attempts, f.Err)
+		note := ""
+		if f.Flight != "" {
+			note = " [flight recording attached]"
+		}
+		r.pw.Fprintf(w, "  failed: %s after %d attempt(s): %s%s\n", f.Point, f.Attempts, f.Err, note)
 	}
 }
 

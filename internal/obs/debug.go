@@ -2,11 +2,16 @@ package obs
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
+
+	"alloysim/internal/invariants"
 )
 
 // DebugMux builds the standard debug handler set over a registry:
@@ -14,6 +19,8 @@ import (
 //	/metrics       Prometheus text exposition
 //	/metrics.json  flat JSON (expvar style)
 //	/debug/pprof/  the standard pprof handlers
+//	/healthz       liveness probe ("ok")
+//	/buildinfo     build provenance (see BuildInfoHandler)
 //
 // The alloysimd daemon mounts this mux inside its own server; the CLIs
 // serve it through StartDebugServer. Once the registry has published a
@@ -46,7 +53,60 @@ func DebugMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", HealthHandler)
+	mux.HandleFunc("/buildinfo", BuildInfoHandler)
 	return mux
+}
+
+// HealthHandler is the trivial liveness probe: the process is up and the
+// mux is serving. Daemons with a drain lifecycle (internal/serve) mount
+// their own drain-aware /healthz instead.
+func HealthHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n")) //nolint:errcheck // client gone; nothing to do
+}
+
+// BuildInfoHandler reports build provenance as JSON: the same VCS
+// revision and Go version a Manifest records, plus whether the binary
+// was built with the invariants tag. Lets an operator answer "what
+// exactly is this daemon running?" without shelling into the host.
+func BuildInfoHandler(w http.ResponseWriter, _ *http.Request) {
+	var rev string
+	dirty := false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"git_rev\":%q,\"git_dirty\":%t,\"go_version\":%q,\"invariants\":%t}\n",
+		rev, dirty, runtime.Version(), invariants.Enabled)
+}
+
+// FlightRecorderHandler serves the recorder's most recent published
+// snapshot as /debug/flightrecorder JSON, falling back to a live dump
+// when nothing has been published yet (correct only when no simulation
+// is mid-flight — same contract as the /metrics fallback above). Mount
+// it with AttachFlightRecorder.
+func FlightRecorderHandler(fr *FlightRecorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if b, ok := fr.Snapshot(); ok {
+			w.Write(b) //nolint:errcheck // client gone; nothing to do
+			return
+		}
+		fr.WriteJSON(w) //nolint:errcheck // client gone; nothing to do
+	}
+}
+
+// AttachFlightRecorder mounts /debug/flightrecorder on a DebugMux.
+func AttachFlightRecorder(mux *http.ServeMux, fr *FlightRecorder) {
+	mux.Handle("/debug/flightrecorder", FlightRecorderHandler(fr))
 }
 
 // DebugServer is a running debug HTTP endpoint with a shutdown path. The
@@ -71,6 +131,13 @@ type DebugServer struct {
 // captures legitimately stream for ?seconds=N, so writes are bounded by
 // the generous writeTimeout below rather than a scrape-sized one.
 func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	return StartDebugServerHandler(addr, DebugMux(reg))
+}
+
+// StartDebugServerHandler is StartDebugServer for callers that build
+// their own handler — typically a DebugMux with extra routes attached
+// (AttachFlightRecorder).
+func StartDebugServerHandler(addr string, h http.Handler) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -83,7 +150,7 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 	)
 	ds := &DebugServer{
 		srv: &http.Server{
-			Handler:           DebugMux(reg),
+			Handler:           h,
 			ReadHeaderTimeout: readHeaderTimeout,
 			ReadTimeout:       readTimeout,
 			WriteTimeout:      writeTimeout,

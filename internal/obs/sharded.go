@@ -15,6 +15,16 @@ import "sort"
 // pure function of ring contents).
 type ShardedTracer struct {
 	shards []*Tracer
+	runID  string
+}
+
+// SetRunID tags the merged export with a correlation ID; see
+// Tracer.SetRunID. Nil-safe.
+func (st *ShardedTracer) SetRunID(id string) {
+	if st == nil {
+		return
+	}
+	st.runID = id
 }
 
 // NewShardedTracer builds one Tracer per shard with the given sampling
@@ -144,6 +154,7 @@ func (st *ShardedTracer) Merged() *Tracer {
 	}
 	out := NewTracer(1, cap)
 	out.next = st.Sampled()
+	out.runID = st.runID
 	for i := range spans {
 		s := &spans[i].s
 		out.Span(s.ReqID, s.Kind, s.Core, s.Line, s.Start, s.Dur, s.Hit)

@@ -154,3 +154,117 @@ func TestShardedTracerDroppedAggregates(t *testing.T) {
 		t.Fatalf("Dropped = (%d, %d), want (5, 5)", s, b)
 	}
 }
+
+// TestShardedTracerEmptyShardMerge: a shard that sampled nothing (its
+// worker saw no references) must not perturb the merge — the other
+// shards' records survive and the empty shard contributes no rows.
+func TestShardedTracerEmptyShardMerge(t *testing.T) {
+	st := NewShardedTracer(3, 1, 64)
+	fillShard(st.Shard(0), 4, 0, 100)
+	// Shard 1 deliberately records nothing; shard 2 records.
+	fillShard(st.Shard(2), 2, 2, 100)
+	m := st.Merged()
+	n := 0
+	_ = m.EachBreakdown(func(b *Breakdown) error { n++; return nil })
+	if n != 6 {
+		t.Fatalf("merged %d breakdowns, want 6 (empty shard added rows?)", n)
+	}
+	if got := m.Sampled(); got != 6 {
+		t.Fatalf("merged Sampled = %d, want 6", got)
+	}
+	// All-empty merge still exports a valid file.
+	empty := NewShardedTracer(2, 1, 16).Merged()
+	var buf bytes.Buffer
+	if err := empty.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("traceEvents")) {
+		t.Fatalf("empty merged export malformed: %s", buf.String())
+	}
+}
+
+// TestShardedTracerSamplingBoundary: with a 1-in-N sampler, the request
+// that lands exactly ON the sampling boundary (the N-th seen) is the one
+// sampled, and merged IDs stay collision-free when different shards
+// sample different counts around that boundary.
+func TestShardedTracerSamplingBoundary(t *testing.T) {
+	const every = 4
+	st := NewShardedTracer(2, every, 64)
+	// Shard 0 sees exactly `every` requests: only the last is sampled.
+	var id0 uint64
+	for i := 0; i < every; i++ {
+		if id := st.Shard(0).Sample(); id != 0 {
+			if i != every-1 {
+				t.Fatalf("shard 0 sampled request %d, want only the %d-th", i, every)
+			}
+			id0 = id
+		}
+	}
+	if id0 == 0 {
+		t.Fatal("shard 0 never sampled the boundary request")
+	}
+	st.Shard(0).Span(id0, SpanRead, 0, 42, 10, 5, true)
+	// Shard 1 sees every-1 requests: none sampled.
+	for i := 0; i < every-1; i++ {
+		if id := st.Shard(1).Sample(); id != 0 {
+			t.Fatalf("shard 1 sampled below the boundary (request %d)", i)
+		}
+	}
+	if got := st.Sampled(); got != 1 {
+		t.Fatalf("Sampled = %d, want 1", got)
+	}
+	m := st.Merged()
+	var ids []uint64
+	_ = m.eachSpan(func(s *Span) error { ids = append(ids, s.ReqID); return nil })
+	if len(ids) != 1 || ids[0] != mergedID(id0, 0, 2) {
+		t.Fatalf("merged span IDs %v, want [%d]", ids, mergedID(id0, 0, 2))
+	}
+}
+
+// TestShardedTracerSingleShardByteIdentical: shards=1 is the degenerate
+// case — the merge must be a pure relabeling that exports byte-identical
+// files to recording through an unsharded Tracer directly (mergedID with
+// shards=1 is the identity).
+func TestShardedTracerSingleShardByteIdentical(t *testing.T) {
+	direct := NewTracer(1, 64)
+	fillShard(direct, 8, 0, 100)
+	st := NewShardedTracer(1, 1, 64)
+	fillShard(st.Shard(0), 8, 0, 100)
+	m := st.Merged()
+
+	var db, mb bytes.Buffer
+	if err := direct.WriteChromeTrace(&db); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteChromeTrace(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(db.Bytes(), mb.Bytes()) {
+		t.Errorf("single-shard merged Chrome trace differs from unsharded:\n%s\nvs\n%s", db.String(), mb.String())
+	}
+	db.Reset()
+	mb.Reset()
+	if err := direct.WriteBreakdownCSV(&db); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteBreakdownCSV(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(db.Bytes(), mb.Bytes()) {
+		t.Error("single-shard merged breakdown CSV differs from unsharded")
+	}
+	// And with a run ID set, both carry the same metadata event.
+	direct.SetRunID("r-deadbeef")
+	st.SetRunID("r-deadbeef")
+	db.Reset()
+	mb.Reset()
+	if err := direct.WriteChromeTrace(&db); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Merged().WriteChromeTrace(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(db.Bytes(), mb.Bytes()) {
+		t.Error("run-ID metadata differs between single-shard merge and unsharded")
+	}
+}

@@ -93,7 +93,7 @@ type Breakdown struct {
 // Dropped() reports how many were overwritten so exports can say so.
 type Tracer struct {
 	every uint64 // sample every Nth request; 0 disables
-	seen  uint64 // requests offered to Sample
+	left  uint64 // requests until the next sampled one (countdown from every)
 	next  uint64 // next request ID (1-based; 0 means "not sampled")
 
 	spans     []Span
@@ -105,6 +105,8 @@ type Tracer struct {
 	brkHead  int
 	brkLen   int
 	brkDrops uint64
+
+	runID string // correlation tag stamped into exports; "" omits it
 }
 
 // NewTracer creates a tracer sampling one request in every `sample`
@@ -120,9 +122,29 @@ func NewTracer(sample uint64, capacity int) *Tracer {
 	}
 	return &Tracer{
 		every: sample,
+		left:  sample,
 		spans: make([]Span, capacity),
 		brks:  make([]Breakdown, capacity),
 	}
+}
+
+// SetRunID tags the tracer with a run/request correlation ID. When set,
+// WriteChromeTrace emits it as a metadata event so an exported trace can
+// be matched to its manifest, daemon job, and log lines; when unset the
+// export bytes are unchanged. Cold-path, nil-safe.
+func (t *Tracer) SetRunID(id string) {
+	if t == nil {
+		return
+	}
+	t.runID = id
+}
+
+// RunID returns the correlation tag set by SetRunID.
+func (t *Tracer) RunID() string {
+	if t == nil {
+		return ""
+	}
+	return t.runID
 }
 
 // Sample decides whether the next memory request is traced. It returns a
@@ -135,10 +157,14 @@ func (t *Tracer) Sample() uint64 {
 	if t == nil {
 		return 0
 	}
-	t.seen++
-	if t.seen%t.every != 0 {
+	// Countdown instead of seen%every: the sampled set is identical (the
+	// every-th, 2·every-th, ... calls) but the hot path stays a decrement
+	// and compare — no integer division per memory request.
+	t.left--
+	if t.left != 0 {
 		return 0
 	}
+	t.left = t.every
 	t.next++
 	return t.next
 }
@@ -254,6 +280,15 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	}
 	if t != nil {
 		first := true
+		if t.runID != "" {
+			// Metadata event carrying the correlation ID; field order is
+			// fixed like the span events so output stays byte-stable.
+			if _, err := fmt.Fprintf(w,
+				"{\"name\":\"run_id\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"run_id\":%q}}", t.runID); err != nil {
+				return err
+			}
+			first = false
+		}
 		err := t.eachSpan(func(s *Span) error {
 			sep := ",\n"
 			if first {

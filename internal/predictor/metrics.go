@@ -11,3 +11,13 @@ func (a *Accuracy) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.RegisterCounterFunc(prefix+"_cache_pred_cache_total", "serviced by cache, predicted cache (correct)", func() uint64 { return a.CachePredCache })
 	reg.RegisterGaugeFunc(prefix+"_accuracy", "fraction of correct hit/miss predictions", func() float64 { return a.Overall() })
 }
+
+// RegisterTimeSeries exposes the four outcome quadrants as phase
+// time-series columns; per-epoch accuracy is derived by readers from the
+// quadrant deltas (correct = mem_pred_mem + cache_pred_cache).
+func (a *Accuracy) RegisterTimeSeries(sink obs.ColumnSink, prefix string) {
+	sink.AddColumn(prefix+"_mem_pred_mem_total", func() uint64 { return a.MemPredMem })
+	sink.AddColumn(prefix+"_mem_pred_cache_total", func() uint64 { return a.MemPredCache })
+	sink.AddColumn(prefix+"_cache_pred_mem_total", func() uint64 { return a.CachePredMem })
+	sink.AddColumn(prefix+"_cache_pred_cache_total", func() uint64 { return a.CachePredCache })
+}

@@ -42,6 +42,10 @@ type cacheEntry struct {
 	key string
 	pt  experiments.Point
 	res core.Result
+	// origin is the correlation ID of the request that computed this
+	// result (as opposed to the many that may later hit it) — the handle
+	// for finding the computing run's logs from a cached /v1/results hit.
+	origin string
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -66,23 +70,26 @@ func (c *resultCache) Get(key string) (core.Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
-// Lookup is Get plus the point the key addresses (for /v1/results).
-func (c *resultCache) Lookup(key string) (experiments.Point, core.Result, bool) {
+// Lookup is Get plus the point the key addresses and the correlation ID
+// of the request that computed it (for /v1/results).
+func (c *resultCache) Lookup(key string) (experiments.Point, core.Result, string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.idx[key]
 	if !ok {
 		c.misses++
-		return experiments.Point{}, core.Result{}, false
+		return experiments.Point{}, core.Result{}, "", false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
-	return e.pt, e.res, true
+	return e.pt, e.res, e.origin, true
 }
 
-// Put inserts (or refreshes) an entry, evicting from the cold end.
-func (c *resultCache) Put(key string, pt experiments.Point, res core.Result) {
+// Put inserts (or refreshes) an entry, evicting from the cold end. origin
+// is the correlation ID of the computing request; a refresh keeps the
+// original origin (the first computation is the one whose logs exist).
+func (c *resultCache) Put(key string, pt experiments.Point, res core.Result, origin string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.idx[key]; ok {
@@ -90,7 +97,7 @@ func (c *resultCache) Put(key string, pt experiments.Point, res core.Result) {
 		el.Value.(*cacheEntry).res = res
 		return
 	}
-	c.idx[key] = c.ll.PushFront(&cacheEntry{key: key, pt: pt, res: res})
+	c.idx[key] = c.ll.PushFront(&cacheEntry{key: key, pt: pt, res: res, origin: origin})
 	for c.ll.Len() > c.cap {
 		cold := c.ll.Back()
 		c.ll.Remove(cold)

@@ -42,6 +42,7 @@ type Job struct {
 type Event struct {
 	Type      string             `json:"type"`
 	Seq       int                `json:"seq"`
+	ReqID     string             `json:"req_id,omitempty"` // the job's correlation ID
 	Point     *experiments.Point `json:"point,omitempty"`
 	Key       string             `json:"key,omitempty"` // content address for /v1/results/{key}
 	Cached    bool               `json:"cached,omitempty"`
@@ -52,7 +53,11 @@ type Event struct {
 }
 
 func newJob(id, tenant string, pts []experiments.Point, parent context.Context) *Job {
-	ctx, cancel := context.WithCancel(parent)
+	// The job ID IS the request's correlation ID: stamping it on the job
+	// context here means every backend.Run under this job — including
+	// coalesced singleflight leaders — logs and traces with the same ID
+	// the client saw in the sweep response and sees on each SSE event.
+	ctx, cancel := context.WithCancel(experiments.WithRequestID(parent, id))
 	return &Job{
 		ID:      id,
 		Tenant:  tenant,
@@ -78,7 +83,7 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 func (j *Job) completePoint(idx int, key string, res *core.Result, cached bool, err error) (last bool) {
 	pt := j.Points[idx]
 	j.mu.Lock()
-	ev := Event{Type: "point", Seq: len(j.events), Point: &pt, Key: key, Cached: cached, Result: res}
+	ev := Event{Type: "point", Seq: len(j.events), ReqID: j.ID, Point: &pt, Key: key, Cached: cached, Result: res}
 	if err != nil {
 		ev.Error = err.Error()
 		j.failed++
@@ -89,7 +94,7 @@ func (j *Job) completePoint(idx int, key string, res *core.Result, cached bool, 
 	last = j.completed+j.failed == len(j.Points)
 	if last {
 		j.events = append(j.events, Event{
-			Type: "done", Seq: len(j.events),
+			Type: "done", Seq: len(j.events), ReqID: j.ID,
 			Completed: j.completed, Failed: j.failed,
 		})
 	}

@@ -23,6 +23,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -64,6 +65,12 @@ type Config struct {
 	CacheEntries int
 	// MaxPointsPerSweep bounds one request's grid. Default QueueDepth.
 	MaxPointsPerSweep int
+	// Logger, when non-nil, receives structured request-lifecycle records
+	// (admission, rejection, point completion, job completion, drain),
+	// each tagged with the job's request ID. The same ID rides the job
+	// context into the runner (experiments.WithRequestID), so one grep
+	// over the combined log reconstructs a request end to end.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +124,14 @@ type Server struct {
 	tenants  map[string]int  //alloyvet:guard mu (in-flight jobs per tenant)
 
 	m serveMetrics //alloyvet:owner New; every field is an atomic
+}
+
+// logw emits one structured log record when a logger is configured.
+func (s *Server) logw(level slog.Level, msg string, args ...any) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	s.cfg.Logger.Log(s.baseCtx, level, msg, args...)
 }
 
 // serveMetrics are the daemon's own counters. They are written from many
@@ -213,12 +228,35 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("/v1/results/", s.handleResult)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	// The PR 4 debug endpoints, graduated into the daemon: same paths,
-	// now with a shutdown story owned by the daemon's http.Server.
+	// now with a shutdown story owned by the daemon's http.Server. Mounted
+	// path by path — NOT the whole debug mux — because the daemon's
+	// drain-aware /healthz must not be shadowed by obs's static one.
 	debug := obs.DebugMux(s.reg)
 	mux.Handle("/metrics", debug)
 	mux.Handle("/metrics.json", debug)
 	mux.Handle("/debug/pprof/", debug)
+	mux.HandleFunc("/buildinfo", obs.BuildInfoHandler)
+	// When the backend can surface flight recordings (the runner attaches
+	// an always-on recorder to every simulation), expose the most recent
+	// one: the daemon-side black box for "what was the simulator doing".
+	if fs, ok := s.backend.(flightSource); ok {
+		mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, _ *http.Request) {
+			pt, dump, ok := fs.LastFlightDump()
+			if !ok {
+				httpError(w, http.StatusNotFound, "no flight recording yet (no point has run)")
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"point\":%q,\"flight\":%s}\n", pt.String(), dump) //nolint:errcheck // client gone; nothing to do
+		})
+	}
 	s.mux = mux
+}
+
+// flightSource is the optional backend capability behind
+// /debug/flightrecorder; *experiments.Runner implements it.
+type flightSource interface {
+	LastFlightDump() (experiments.Point, string, bool)
 }
 
 // sweepRequest is the POST /v1/sweep body: the cross product of the four
@@ -298,12 +336,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if s.draining || s.closed {
 		s.mu.Unlock()
 		s.m.rejectedDraining.Add(1)
+		s.logw(slog.LevelWarn, "sweep rejected", "reason", "draining", "tenant", tenant, "points", len(pts))
 		httpError(w, http.StatusServiceUnavailable, "draining: new sweeps refused")
 		return
 	}
 	if s.cfg.TenantQuota >= 0 && s.tenants[tenant] >= s.cfg.TenantQuota {
 		s.mu.Unlock()
 		s.m.rejectedQuota.Add(1)
+		s.logw(slog.LevelWarn, "sweep rejected", "reason", "tenant quota", "tenant", tenant, "points", len(pts))
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "tenant %q at in-flight job quota %d", tenant, s.cfg.TenantQuota)
 		return
@@ -312,6 +352,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		free := s.cfg.QueueDepth - s.queued
 		s.mu.Unlock()
 		s.m.rejectedQueue.Add(1)
+		s.logw(slog.LevelWarn, "sweep rejected", "reason", "queue full", "tenant", tenant, "points", len(pts), "free", free)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "queue full: %d points requested, %d slots free", len(pts), free)
 		return
@@ -330,6 +371,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	s.m.sweeps.Add(1)
+	s.logw(slog.LevelInfo, "sweep admitted", "req_id", job.ID, "tenant", tenant, "points", len(pts))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(sweepResponse{ //nolint:errcheck // client gone; nothing to do
@@ -370,17 +412,20 @@ func (s *Server) runTask(t *task) {
 	if res, ok := s.rcache.Get(key); ok {
 		s.m.cacheHits.Add(1)
 		s.m.pointsDone.Add(1)
+		s.logw(slog.LevelDebug, "point served from result cache", "req_id", job.ID, "point", pt.String(), "key", key)
 		s.finishPoint(job, t.idx, key, &res, true, nil)
 		return
 	}
 	res, err := s.backend.Run(job.ctx, pt.Workload, pt.Design, pt.Predictor, pt.CacheMB)
 	if err != nil {
 		s.m.pointsFailed.Add(1)
+		s.logw(slog.LevelError, "point failed", "req_id", job.ID, "point", pt.String(), "key", key, "err", err.Error())
 		s.finishPoint(job, t.idx, key, nil, false, err)
 		return
 	}
-	s.rcache.Put(key, pt, res)
+	s.rcache.Put(key, pt, res, job.ID)
 	s.m.pointsDone.Add(1)
+	s.logw(slog.LevelInfo, "point computed", "req_id", job.ID, "point", pt.String(), "key", key)
 	s.finishPoint(job, t.idx, key, &res, false, nil)
 }
 
@@ -391,6 +436,7 @@ func (s *Server) finishPoint(job *Job, idx int, key string, res *core.Result, ca
 	if !last {
 		return
 	}
+	s.logw(slog.LevelInfo, "job done", "req_id", job.ID, "tenant", job.Tenant, "points", len(job.Points))
 	s.mu.Lock()
 	if s.tenants[job.Tenant]--; s.tenants[job.Tenant] == 0 {
 		delete(s.tenants, job.Tenant)
@@ -415,6 +461,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(job.status()) //nolint:errcheck // client gone; nothing to do
 	case tail == "" && r.Method == http.MethodDelete:
 		job.Cancel()
+		s.logw(slog.LevelWarn, "job cancelled by client", "req_id", job.ID, "tenant", job.Tenant)
 		w.WriteHeader(http.StatusNoContent)
 	case tail == "events" && r.Method == http.MethodGet:
 		s.serveEvents(w, r, job)
@@ -429,7 +476,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := strings.TrimPrefix(r.URL.Path, "/v1/results/")
-	pt, res, ok := s.rcache.Lookup(key)
+	pt, res, origin, ok := s.rcache.Lookup(key)
 	if !ok {
 		httpError(w, http.StatusNotFound, "result %q not resident (evicted or never computed)", key)
 		return
@@ -437,9 +484,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(struct { //nolint:errcheck // client gone; nothing to do
 		Key    string            `json:"key"`
+		Origin string            `json:"origin_req_id,omitempty"`
 		Point  experiments.Point `json:"point"`
 		Result core.Result       `json:"result"`
-	}{key, pt, res})
+	}{key, origin, pt, res})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -462,6 +510,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.logw(slog.LevelInfo, "draining: refusing new sweeps, waiting for in-flight jobs")
 
 	// Wake the cond waiter when ctx dies.
 	stop := context.AfterFunc(ctx, func() {

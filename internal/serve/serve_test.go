@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -649,6 +650,175 @@ func TestRealRunnerBackend(t *testing.T) {
 	// daemon cache or the runner's memo/singleflight.
 	if m := r.Metrics(); m.PointsRun != 1 {
 		t.Fatalf("runner executed %d points for 4 identical sweeps", m.PointsRun)
+	}
+
+	// The runner attaches a flight recorder to every simulation, so after
+	// a point has run the daemon's black-box endpoint serves its dump.
+	fr, err := ts.Client().Get(ts.URL + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flight struct {
+		Point  string          `json:"point"`
+		Flight json.RawMessage `json:"flight"`
+	}
+	if err := json.NewDecoder(fr.Body).Decode(&flight); err != nil {
+		t.Fatalf("flight dump decode: %v", err)
+	}
+	fr.Body.Close()
+	if fr.StatusCode != http.StatusOK || flight.Point == "" || len(flight.Flight) == 0 {
+		t.Fatalf("flight endpoint: status %d, %+v", fr.StatusCode, flight)
+	}
+}
+
+// correlatingBackend wraps fakeBackend and records the correlation ID each
+// Run call arrived with — the daemon must stamp the job ID on the context
+// it hands the backend.
+type correlatingBackend struct {
+	*fakeBackend
+	mu     sync.Mutex
+	reqIDs map[string]bool
+}
+
+func (c *correlatingBackend) Run(ctx context.Context, w string, d core.Design, pk core.PredictorKind, mb uint64) (core.Result, error) {
+	c.mu.Lock()
+	if c.reqIDs == nil {
+		c.reqIDs = make(map[string]bool)
+	}
+	c.reqIDs[experiments.RequestIDFrom(ctx)] = true
+	c.mu.Unlock()
+	return c.fakeBackend.Run(ctx, w, d, pk, mb)
+}
+
+// TestRequestCorrelation: the job ID minted at admission is the request's
+// correlation ID everywhere — on the context the backend runs under, on
+// every SSE event, as the origin of the cached result, and on the
+// daemon's structured log records.
+func TestRequestCorrelation(t *testing.T) {
+	var logBuf bytes.Buffer
+	var logMu sync.Mutex
+	cb := &correlatingBackend{fakeBackend: newFakeBackend()}
+	s := New(cb, Config{
+		Workers:    2,
+		QueueDepth: 16,
+		Logger:     slog.New(slog.NewTextHandler(&lockedWriter{mu: &logMu, w: &logBuf}, &slog.HandlerOptions{Level: slog.LevelDebug})),
+	}, nil)
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, sr := postSweep(t, ts, "corr", `{"workloads":["mcf_r"],"designs":["alloy"],"cache_mb":[256]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep status %d", resp.StatusCode)
+	}
+	evs := readSSE(t, ts, sr.ID, "")
+
+	// Every event — point and done — carries the job's correlation ID.
+	for _, ev := range evs {
+		if ev.ReqID != sr.ID {
+			t.Fatalf("event %+v has req_id %q, want %q", ev, ev.ReqID, sr.ID)
+		}
+	}
+
+	// The backend ran under a context carrying the same ID.
+	cb.mu.Lock()
+	sawID := cb.reqIDs[sr.ID]
+	cb.mu.Unlock()
+	if !sawID {
+		t.Fatalf("backend never saw req_id %q on its context (saw %v)", sr.ID, cb.reqIDs)
+	}
+
+	// The content-addressed result remembers which request computed it.
+	var key string
+	for _, ev := range evs {
+		if ev.Type == "point" {
+			key = ev.Key
+		}
+	}
+	rr, err := ts.Client().Get(ts.URL + "/v1/results/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Origin string `json:"origin_req_id"`
+	}
+	json.NewDecoder(rr.Body).Decode(&got) //nolint:errcheck
+	rr.Body.Close()
+	if got.Origin != sr.ID {
+		t.Fatalf("result origin %q, want %q", got.Origin, sr.ID)
+	}
+
+	// The structured log carries admission and computation records tagged
+	// with the ID.
+	logMu.Lock()
+	logs := logBuf.String()
+	logMu.Unlock()
+	for _, want := range []string{"sweep admitted", "point computed", "req_id=" + sr.ID} {
+		if !strings.Contains(logs, want) {
+			t.Fatalf("log missing %q:\n%s", want, logs)
+		}
+	}
+
+	// A second identical sweep is served from the result cache but keeps
+	// the ORIGINAL computing request as origin.
+	_, sr2 := postSweep(t, ts, "corr", `{"workloads":["mcf_r"],"designs":["alloy"],"cache_mb":[256]}`)
+	readSSE(t, ts, sr2.ID, "")
+	rr2, err := ts.Client().Get(ts.URL + "/v1/results/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(rr2.Body).Decode(&got) //nolint:errcheck
+	rr2.Body.Close()
+	if got.Origin != sr.ID {
+		t.Fatalf("after cached hit, origin %q, want original %q", got.Origin, sr.ID)
+	}
+}
+
+// lockedWriter serializes concurrent handler writes and lets the test read
+// the buffer without racing the workers.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// TestBuildInfoEndpoint: the daemon exposes build provenance.
+func TestBuildInfoEndpoint(t *testing.T) {
+	s := New(newFakeBackend(), Config{Workers: 1, QueueDepth: 4}, nil)
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/buildinfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var bi struct {
+		GoVersion string `json:"go_version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&bi); err != nil {
+		t.Fatalf("buildinfo decode: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || bi.GoVersion == "" {
+		t.Fatalf("buildinfo: status %d, %+v", resp.StatusCode, bi)
+	}
+
+	// The fake backend cannot surface flight recordings, so the endpoint
+	// is not mounted at all.
+	fr, err := ts.Client().Get(ts.URL + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, fr.Body) //nolint:errcheck
+	fr.Body.Close()
+	if fr.StatusCode != http.StatusNotFound {
+		t.Fatalf("flightrecorder on non-flight backend: status %d", fr.StatusCode)
 	}
 }
 

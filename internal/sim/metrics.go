@@ -10,3 +10,12 @@ func (e *Engine) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.RegisterCounterFunc(prefix+"_events_total", "events executed", func() uint64 { return e.nSteps })
 	reg.RegisterGaugeFunc(prefix+"_pending_events", "events waiting to execute", func() float64 { return float64(e.pending) })
 }
+
+// RegisterTimeSeries exposes the engine's progress counters as phase
+// time-series columns. Same contract as RegisterMetrics: closures over
+// existing fields, read only at epoch boundaries by the sampling
+// goroutine that owns the engine.
+func (e *Engine) RegisterTimeSeries(sink obs.ColumnSink, prefix string) {
+	sink.AddColumn(prefix+"_events_total", func() uint64 { return e.nSteps })
+	sink.AddColumn(prefix+"_pending_events", func() uint64 { return uint64(e.pending) })
+}

@@ -17,6 +17,11 @@ import (
 type Violation struct {
 	Property string
 	Detail   string
+	// Flight is the run's flight-recorder dump (JSON: last epochs of every
+	// phase counter plus sampled request spans), when the runner captured
+	// one for the violating point. It answers "what was the simulator
+	// doing when the gate tripped" without a rerun.
+	Flight string
 }
 
 func (v Violation) String() string { return v.Property + ": " + v.Detail }
@@ -204,6 +209,15 @@ func RunProperties(ctx context.Context, opt PropertyOptions) (PropertyReport, er
 			return res, fmt.Errorf("validate: %s/%s/%s/%d: %w", w, d, pk, mb, err)
 		}
 		if vs := CheckResultInvariants(res); len(vs) > 0 {
+			// A tripped gate gets the run's black box attached: the flight
+			// recorder the runner kept for this point shows the final
+			// epochs that produced the violating counters.
+			pt := experiments.Point{Workload: w, Design: d, Predictor: pk, CacheMB: mb}
+			if dump, ok := runner.FlightDump(pt); ok {
+				for i := range vs {
+					vs[i].Flight = dump
+				}
+			}
 			rep.Violations = append(rep.Violations, vs...)
 		}
 		rep.Checked++
@@ -358,7 +372,25 @@ func WriteReport(w io.Writer, rep PropertyReport) error {
 		return err
 	}
 	for _, v := range rep.Violations {
-		if _, err := fmt.Fprintf(w, "  VIOLATION %s\n", v); err != nil {
+		suffix := ""
+		if v.Flight != "" {
+			suffix = " [flight recording attached]"
+		}
+		if _, err := fmt.Fprintf(w, "  VIOLATION %s%s\n", v, suffix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFlightRecordings renders the flight dump of each violation that
+// carries one — the detail view behind WriteReport's attachment notes.
+func WriteFlightRecordings(w io.Writer, rep PropertyReport) error {
+	for _, v := range rep.Violations {
+		if v.Flight == "" {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "flight recording for %s:\n%s\n", v.Property, v.Flight); err != nil {
 			return err
 		}
 	}

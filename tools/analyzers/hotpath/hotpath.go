@@ -27,6 +27,12 @@
 //
 // The check is intraprocedural: callees are only checked if they carry the
 // annotation themselves.
+//
+// Two method families are implicitly hot, annotation or not: the Sample
+// methods of obs.TimeSeries and obs.FlightRecorder. They run once per
+// 2^16-cycle epoch inside the engine's quantum loop and are the reason
+// phase telemetry can stay always-on; deleting the annotation comment must
+// not silently exempt them.
 package hotpath
 
 import (
@@ -49,7 +55,10 @@ func run(pass *anzkit.Pass) error {
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !anzkit.IsHotpath(fn) {
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !anzkit.IsHotpath(fn) && !isSamplePathMethod(pass, fn) {
 				continue
 			}
 			check(pass, fn)
@@ -332,6 +341,38 @@ func isRegistryMethod(fn *types.Func) bool {
 	}
 	obj := named.Obj()
 	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+// isSamplePathMethod reports whether fn is the per-epoch sample path of a
+// phase-telemetry sink: a method named Sample on obs.TimeSeries or
+// obs.FlightRecorder (matched by package name, like isRegistryMethod, so
+// the testdata stub package triggers it too). These run inside the engine
+// quantum loop and are hot whether or not the annotation survives edits.
+func isSamplePathMethod(pass *anzkit.Pass, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || fn.Name.Name != "Sample" {
+		return false
+	}
+	obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	if o.Pkg() == nil || o.Pkg().Name() != "obs" {
+		return false
+	}
+	return o.Name() == "TimeSeries" || o.Name() == "FlightRecorder"
 }
 
 func calleeIdent(fun ast.Expr) *ast.Ident {

@@ -103,6 +103,14 @@ func Hoisted(c *obs.Counter) {
 	c.Inc()
 }
 
+// sampler is NOT an obs type: a method named Sample on it is ordinary
+// cold code, so the implicit sample-path rule must not fire.
+type sampler struct{ buf []uint64 }
+
+func (s *sampler) Sample(v uint64) {
+	s.buf = append(s.buf, v)
+}
+
 // Cold is not annotated: the same constructs are legal here.
 func Cold(n int) string {
 	_ = make([]byte, n)

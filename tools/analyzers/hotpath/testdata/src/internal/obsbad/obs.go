@@ -1,0 +1,29 @@
+// Package obs (in a second directory, same package name) carries the
+// failing goldens for the implicit sample-path rule: Sample methods on
+// obs.TimeSeries and obs.FlightRecorder are hot even with no
+// //alloyvet:hotpath annotation anywhere in sight.
+package obs
+
+type TimeSeries struct {
+	cycles []uint64
+}
+
+func (t *TimeSeries) Sample(cycle uint64) {
+	t.cycles = append(t.cycles, cycle) // want `append result escapes to t.cycles`
+}
+
+type FlightRecorder struct {
+	rows [][]uint64
+}
+
+func (f *FlightRecorder) Sample(cycle uint64) {
+	row := make([]uint64, 4) // want `make allocates`
+	row[0] = cycle
+	f.rows = append(f.rows, row) // want `append result escapes to f.rows`
+}
+
+// Reset is an ordinary method on the same type: not a sample path, not
+// annotated, so allocation here is legal.
+func (t *TimeSeries) Reset() {
+	t.cycles = make([]uint64, 0, 16)
+}
