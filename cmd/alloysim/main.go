@@ -28,10 +28,11 @@ import (
 )
 
 // buildConfigFromFlags assembles a configuration from the CLI flags.
-func buildConfigFromFlags(workload, design, pred string, cacheMB, scale, instr, warmup uint64, cores int, gap uint32, seed uint64, footprint bool) core.Config {
+func buildConfigFromFlags(workload, design, pred, dcPolicy string, cacheMB, scale, instr, warmup uint64, cores int, gap uint32, seed uint64, footprint bool) core.Config {
 	cfg := core.DefaultConfig(workload)
 	cfg.Design = core.Design(design)
 	cfg.Predictor = core.PredictorKind(pred)
+	cfg.DCPolicy = dcPolicy
 	cfg.DRAMCacheBytes = cacheMB << 20
 	cfg.Scale = scale
 	cfg.InstructionsPerCore = instr
@@ -69,8 +70,9 @@ func loadTraces(dir string, cores int) ([]trace.Generator, error) {
 func main() {
 	var (
 		workload  = flag.String("workload", "mcf_r", "workload profile name (-list to enumerate)")
-		design    = flag.String("design", "alloy", "DRAM cache design: none, sram-32, sram-1, lh-29, lh-29-rand, lh-1, alloy, alloy-2, alloy-b8, ideal-lo, ideal-lo-notag")
+		design    = flag.String("design", "alloy", "DRAM cache design: none, sram-32, sram-1, lh-29, lh-29-rand, lh-1, alloy, alloy-2, alloy-b8, ideal-lo, ideal-lo-notag, banshee, gemini, tdram")
 		pred      = flag.String("pred", "", "predictor: sam, pam, map-g, map-i, perfect, missmap (default: paper pairing)")
+		dcPolicy  = flag.String("dcpolicy", "", "DRAM-cache replacement policy override for the set-associative designs (lh-29, gemini): lru, random, bip, dip, nru, srrip, brrip, ship")
 		cacheMB   = flag.Uint64("cache", 256, "DRAM cache size in MB (paper scale)")
 		scale     = flag.Uint64("scale", 64, "capacity/footprint scale divisor")
 		instr     = flag.Uint64("instr", 1_500_000, "instructions per core")
@@ -149,7 +151,7 @@ func main() {
 			os.Exit(1)
 		}
 	} else {
-		cfg = buildConfigFromFlags(*workload, *design, *pred, *cacheMB, *scale, *instr, *warmup, *cores, uint32(*gap), *seed, *footprint)
+		cfg = buildConfigFromFlags(*workload, *design, *pred, *dcPolicy, *cacheMB, *scale, *instr, *warmup, *cores, uint32(*gap), *seed, *footprint)
 	}
 	if *confOut != "" {
 		if err := core.SaveConfigFile(*confOut, cfg); err != nil {

@@ -20,7 +20,8 @@ import (
 type Config struct {
 	Sets   int    // number of sets (any positive integer)
 	Assoc  int    // ways per set
-	Policy string // policy.New name: "lru", "random", "bip", "dip", "nru"
+	Policy string // a policy.Known name: "lru", "random", "srrip", ...
+	Seed   uint64 // stochastic-policy seed; 0 keeps the legacy fixed seed
 }
 
 // Lines returns the total line capacity.
@@ -96,7 +97,7 @@ func New(cfg Config) (*Cache, error) {
 	if name == "" {
 		name = "lru"
 	}
-	pol, err := policy.New(name, cfg.Sets, cfg.Assoc)
+	pol, err := policy.NewSeeded(name, cfg.Sets, cfg.Assoc, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}

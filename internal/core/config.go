@@ -33,15 +33,23 @@ const (
 	DesignAlloyBurst8  Design = "alloy-b8"
 	DesignIdealLO      Design = "ideal-lo"
 	DesignIdealLONoTag Design = "ideal-lo-notag"
+
+	// The beyond-the-paper design zoo (ROADMAP item 3): successor
+	// organizations layered over the same contents and device models.
+	DesignBanshee Design = "banshee"
+	DesignGemini  Design = "gemini"
+	DesignTDRAM   Design = "tdram"
 )
 
-// Designs lists every supported design.
+// Designs lists every supported design. Order is append-only: the fuzz
+// corpus indexes into this slice by position.
 func Designs() []Design {
 	return []Design{
 		DesignNone, DesignSRAMTag32, DesignSRAMTag1,
 		DesignLH, DesignLHRand, DesignLH1,
 		DesignAlloy, DesignAlloy2, DesignAlloyBurst8,
 		DesignIdealLO, DesignIdealLONoTag,
+		DesignBanshee, DesignGemini, DesignTDRAM,
 	}
 }
 
@@ -106,6 +114,14 @@ type Config struct {
 
 	Design    Design
 	Predictor PredictorKind
+
+	// DCPolicy optionally overrides the DRAM cache's replacement policy
+	// (any policy.Known name). Only policy-capable designs accept it
+	// ("lh-29", "gemini"); others reject a non-empty value at NewSystem.
+	// The design×policy cross-product derives a stable per-cell seed for
+	// stochastic policies, so cross-producted runs stay deterministic
+	// without sharing one eviction sequence.
+	DCPolicy string
 
 	// OffChip and Stacked override DRAM timing; zero values use the
 	// paper's Table 2 parameters.
@@ -265,38 +281,35 @@ func (c Config) resolvePredictor() PredictorKind {
 		return PredMissMap
 	case DesignIdealLO, DesignIdealLONoTag:
 		return PredPerfect
+	case DesignBanshee:
+		// Banshee's tags live in the page-table path: an authoritative
+		// on-chip structure whose serialization cost the MissMap models.
+		return PredMissMap
 	default:
 		return PredMAPI
 	}
 }
 
-// buildOrganization constructs the configured DRAM-cache design.
-func buildOrganization(d Design, capacity uint64, stacked *dram.DRAM) (dramcache.Organization, error) {
-	switch d {
-	case DesignNone:
+// buildOrganization constructs the configured DRAM-cache design through
+// the dramcache registry, threading the optional replacement-policy
+// override and its per-(design, policy) seed.
+func buildOrganization(d Design, capacity uint64, stacked *dram.DRAM, policy string) (dramcache.Organization, error) {
+	if d == DesignNone {
+		if policy != "" {
+			return nil, fmt.Errorf("core: DCPolicy %q set without a DRAM cache", policy)
+		}
 		return nil, nil
-	case DesignSRAMTag32:
-		return dramcache.NewSRAMTag(capacity, 32, stacked)
-	case DesignSRAMTag1:
-		return dramcache.NewSRAMTag(capacity, 1, stacked)
-	case DesignLH:
-		return dramcache.NewLHCache(capacity, stacked)
-	case DesignLHRand:
-		return dramcache.NewLHCache(capacity, stacked, dramcache.LHWithPolicy("random"))
-	case DesignLH1:
-		return dramcache.NewLHCache(capacity, stacked, dramcache.LHWithAssoc(1))
-	case DesignAlloy:
-		return dramcache.NewAlloy(capacity, stacked)
-	case DesignAlloy2:
-		return dramcache.NewAlloy(capacity, stacked, dramcache.AlloyWithAssoc(2))
-	case DesignAlloyBurst8:
-		return dramcache.NewAlloy(capacity, stacked, dramcache.AlloyWithBurst(8))
-	case DesignIdealLO:
-		return dramcache.NewIdealLO(capacity, stacked)
-	case DesignIdealLONoTag:
-		return dramcache.NewIdealLO(capacity, stacked, dramcache.IdealNoTagOverhead())
 	}
-	return nil, fmt.Errorf("core: unknown design %q", d)
+	org, err := dramcache.Build(string(d), dramcache.Params{
+		CapacityBytes: capacity,
+		Stacked:       stacked,
+		Policy:        policy,
+		Seed:          dramcache.SeedFor(string(d), policy),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return org, nil
 }
 
 // buildPredictor constructs the predictor, given the organization for the

@@ -160,6 +160,14 @@ func cyclesBetween(a, b sim.Cycle) uint64 {
 	return (b - a).Count()
 }
 
+// minCycle returns the earlier of two cycles.
+func minCycle(a, b sim.Cycle) sim.Cycle {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // dramSpans records the queue/bank/bus/burst segments of one DRAM access
 // as four spans starting from its issue cycle.
 func (s *System) dramSpans(tid uint64, core int32, line uint64, issue sim.Cycle, r *dram.Result, queue, bank, bus, burst obs.SpanKind, hit bool) {
@@ -218,12 +226,21 @@ func (s *System) traceRead(tid uint64, core int, lineAddr uint64, t0, t1, dataAt
 	}
 	// Cache segments are on the critical path for hits always, and for
 	// misses only when the predictor said hit (SAM serializes the memory
-	// dispatch behind the tag check).
+	// dispatch behind the tag check). Designs with a dedicated tag path
+	// (TDRAM) resolve a miss mid-burst: memory dispatch then overlaps the
+	// tail of the cache access, so segments are clipped at the dispatch
+	// cycle — only the pre-dispatch portion is serialized. For every
+	// tags-with-data design TagKnown follows First.Done and the clip is a
+	// no-op.
 	if res.Probed && (res.Hit || predHit) {
-		b.CacheQueue = cyclesBetween(t1, res.First.Start)
-		b.CacheBank = cyclesBetween(res.First.Start, res.First.CASDone)
-		b.CacheBus = cyclesBetween(res.First.CASDone, res.First.BusStart)
-		b.CacheBurst = cyclesBetween(res.First.BusStart, res.First.Done)
+		lim := res.First.Done
+		if !res.Hit && memStart < lim {
+			lim = memStart
+		}
+		b.CacheQueue = cyclesBetween(t1, minCycle(res.First.Start, lim))
+		b.CacheBank = cyclesBetween(minCycle(res.First.Start, lim), minCycle(res.First.CASDone, lim))
+		b.CacheBus = cyclesBetween(minCycle(res.First.CASDone, lim), minCycle(res.First.BusStart, lim))
+		b.CacheBurst = cyclesBetween(minCycle(res.First.BusStart, lim), lim)
 	}
 	if usedMem && !res.Hit {
 		b.MemQueue = cyclesBetween(memStart, m.Start)

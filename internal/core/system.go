@@ -105,7 +105,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if s.stacked, err = dram.New(cfg.Stacked); err != nil {
 		return nil, err
 	}
-	if s.org, err = buildOrganization(cfg.Design, cfg.ScaledCacheBytes(), s.stacked); err != nil {
+	if s.org, err = buildOrganization(cfg.Design, cfg.ScaledCacheBytes(), s.stacked, cfg.DCPolicy); err != nil {
 		return nil, err
 	}
 

@@ -150,6 +150,9 @@ func TestQuickAccessInvariants(t *testing.T) {
 		func() Organization { o, _ := NewLHCache(testCap, stacked()); return o },
 		func() Organization { o, _ := NewAlloy(testCap, stacked()); return o },
 		func() Organization { o, _ := NewIdealLO(testCap, stacked()); return o },
+		func() Organization { o, _ := NewBanshee(testCap, stacked()); return o },
+		func() Organization { o, _ := NewGemini(testCap, stacked()); return o },
+		func() Organization { o, _ := NewTDRAM(testCap, stacked()); return o },
 	}
 	for _, mk := range orgs {
 		o := mk()

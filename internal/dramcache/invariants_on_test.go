@@ -64,3 +64,68 @@ func TestAlloyLegalAccessDoesNotPanic(t *testing.T) {
 		now = r.TagKnown
 	}
 }
+
+func TestTDRAMCoResidencyPanics(t *testing.T) {
+	d := dram.MustNew(dram.StackedConfig())
+	td, err := NewTDRAM(1<<20, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the geometry as in the Alloy tests: rowOf now disagrees with
+	// the 28-lines-per-row layout checkRow recomputes independently.
+	td.setsPerRow = 7
+	mustPanicInv(t, "co-residency", func() { td.Access(0, memaddr.Line(100), false) })
+}
+
+func TestTDRAMFillCoResidencyPanics(t *testing.T) {
+	d := dram.MustNew(dram.StackedConfig())
+	td, err := NewTDRAM(1<<20, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td.setsPerRow = 7
+	mustPanicInv(t, "co-residency", func() { td.Fill(0, memaddr.Line(100)) })
+}
+
+func TestGeminiDualResidencyPanics(t *testing.T) {
+	d := dram.MustNew(dram.StackedConfig())
+	g, err := NewGemini(1<<20, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt contents: the same line resident in both regions breaks the
+	// exclusive-placement invariant every access asserts.
+	g.dm.Fill(memaddr.Line(9), false)
+	g.sa.Fill(memaddr.Line(9), false)
+	mustPanicInv(t, "both regions", func() { g.Access(0, memaddr.Line(9), false) })
+}
+
+func TestZooLegalAccessDoesNotPanic(t *testing.T) {
+	d := dram.MustNew(dram.StackedConfig())
+	orgs := []Organization{}
+	if b, err := NewBanshee(1<<20, d); err == nil {
+		orgs = append(orgs, b)
+	} else {
+		t.Fatal(err)
+	}
+	if g, err := NewGemini(1<<20, d); err == nil {
+		orgs = append(orgs, g)
+	} else {
+		t.Fatal(err)
+	}
+	if td, err := NewTDRAM(1<<20, d); err == nil {
+		orgs = append(orgs, td)
+	} else {
+		t.Fatal(err)
+	}
+	for _, o := range orgs {
+		now := Cycle(0)
+		for i := 0; i < 128; i++ {
+			r := o.Access(now, memaddr.Line(i*37), i%4 == 0)
+			now = r.TagKnown
+			if r.Allocated {
+				o.Fill(now, memaddr.Line(i*37))
+			}
+		}
+	}
+}

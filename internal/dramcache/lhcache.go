@@ -37,6 +37,7 @@ type LHOption func(*lhParams)
 type lhParams struct {
 	assoc  int
 	policy string
+	seed   uint64
 }
 
 // LHWithAssoc selects 29-way (default) or direct-mapped (1).
@@ -45,6 +46,10 @@ func LHWithAssoc(assoc int) LHOption { return func(p *lhParams) { p.assoc = asso
 // LHWithPolicy selects the replacement policy ("dip" default, "random" for
 // the Table 1 de-optimization).
 func LHWithPolicy(policy string) LHOption { return func(p *lhParams) { p.policy = policy } }
+
+// LHWithSeed seeds stochastic replacement; 0 keeps the legacy fixed seed
+// (the Table 1 random variant's committed results depend on it).
+func LHWithSeed(seed uint64) LHOption { return func(p *lhParams) { p.seed = seed } }
 
 // NewLHCache builds an LH-Cache of the given capacity. Capacity counts
 // data lines only; the three tag lines per row are organizational overhead
@@ -66,7 +71,7 @@ func NewLHCache(capacityBytes uint64, stacked *dram.DRAM, opts ...LHOption) (*LH
 	if p.assoc == 1 {
 		pol = "lru"
 	}
-	tags, err := cache.New(cache.Config{Sets: sets, Assoc: p.assoc, Policy: pol})
+	tags, err := cache.New(cache.Config{Sets: sets, Assoc: p.assoc, Policy: pol, Seed: p.seed})
 	if err != nil {
 		return nil, err
 	}

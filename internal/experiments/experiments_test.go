@@ -24,6 +24,7 @@ func TestRegistryComplete(t *testing.T) {
 		"sec27", "sec56", "sec65", "sec67",
 		"abl-mlp", "abl-wbuf", "abl-chan", "abl-l3pol", "abl-seeds", "table4sim",
 		"phase",
+		"beyond4", "beyond9", "beyond-pol",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -1,8 +1,10 @@
 // Package policy implements the cache replacement policies the paper's
 // designs use: LRU, Random, BIP, and DIP (LRU/BIP set dueling, Qureshi et
-// al., ISCA 2007). The baseline L3 and the set-associative DRAM cache
-// configurations use LRU-based DIP; the de-optimized LH-Cache variant in
-// Table 1 uses Random; direct-mapped configurations need no policy at all.
+// al., ISCA 2007), plus the RRIP family (SRRIP, BRRIP, and a SHiP-style
+// signature predictor) used by the design-zoo organizations. The baseline
+// L3 and the set-associative DRAM cache configurations use LRU-based DIP;
+// the de-optimized LH-Cache variant in Table 1 uses Random; direct-mapped
+// configurations need no policy at all.
 package policy
 
 import "fmt"
@@ -24,15 +26,33 @@ type Policy interface {
 }
 
 // New constructs a policy by name: "lru", "random", "bip", "dip", "nru",
-// or "srrip".
+// "srrip", "brrip", or "ship". Stochastic policies get the legacy fixed
+// seed; use NewSeeded when distinct configurations must not share one
+// eviction sequence.
 func New(name string, sets, assoc int) (Policy, error) {
+	return NewSeeded(name, sets, assoc, 0)
+}
+
+// NewSeeded is New with an explicit seed for stochastic policies
+// ("random"; the deterministic policies ignore it). Seed 0 selects the
+// legacy fixed seed New has always used, so existing configurations keep
+// their eviction sequences; callers cross-producting designs and policies
+// pass a per-(design, policy) seed to decorrelate runs.
+func NewSeeded(name string, sets, assoc int, seed uint64) (Policy, error) {
 	switch name {
 	case "lru":
 		return NewLRU(sets, assoc), nil
 	case "srrip":
 		return NewSRRIP(sets, assoc), nil
+	case "brrip":
+		return NewBRRIP(sets, assoc), nil
+	case "ship":
+		return NewSHiP(sets, assoc), nil
 	case "random":
-		return NewRandom(sets, assoc, 1), nil
+		if seed == 0 {
+			seed = 1
+		}
+		return NewRandom(sets, assoc, seed), nil
 	case "bip":
 		return NewBIP(sets, assoc), nil
 	case "dip":
@@ -41,6 +61,11 @@ func New(name string, sets, assoc int) (Policy, error) {
 		return NewNRU(sets, assoc), nil
 	}
 	return nil, fmt.Errorf("policy: unknown policy %q", name)
+}
+
+// Known lists every policy name New accepts, in a stable order.
+func Known() []string {
+	return []string{"lru", "random", "bip", "dip", "nru", "srrip", "brrip", "ship"}
 }
 
 // LRU is true least-recently-used replacement using per-line stamps.

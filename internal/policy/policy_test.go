@@ -6,7 +6,7 @@ import (
 )
 
 func TestNewByName(t *testing.T) {
-	for _, name := range []string{"lru", "random", "bip", "dip", "nru", "srrip"} {
+	for _, name := range Known() {
 		p, err := New(name, 4, 4)
 		if err != nil {
 			t.Fatalf("New(%q): %v", name, err)
@@ -199,7 +199,7 @@ func TestNRUVictimHasClearBit(t *testing.T) {
 
 func TestVictimAlwaysInRange(t *testing.T) {
 	f := func(ops []uint16, which uint8) bool {
-		names := []string{"lru", "random", "bip", "dip", "nru", "srrip"}
+		names := Known()
 		p, err := New(names[int(which)%len(names)], 8, 4)
 		if err != nil {
 			return false
@@ -270,5 +270,201 @@ func TestSRRIPViaRegistry(t *testing.T) {
 	}
 	if p.Name() != "srrip" {
 		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+// TestRRIPInsertionPosition pins the insertion RRPV of each RRIP-family
+// policy: SRRIP always long, BRRIP distant except 1 in brripEpsilon, SHiP
+// long while its predictor is optimistic.
+func TestRRIPInsertionPosition(t *testing.T) {
+	cases := []struct {
+		name   string
+		make   func() Policy
+		rrpvOf func(Policy, int) uint8
+		want   func(fill int) uint8 // expected RRPV for the i-th fill (0-based)
+	}{
+		{
+			name:   "srrip",
+			make:   func() Policy { return NewSRRIP(1, 4) },
+			rrpvOf: func(p Policy, way int) uint8 { return p.(*SRRIP).rrpv[way] },
+			want:   func(int) uint8 { return rrpvLong },
+		},
+		{
+			name:   "brrip",
+			make:   func() Policy { return NewBRRIP(1, 4) },
+			rrpvOf: func(p Policy, way int) uint8 { return p.(*BRRIP).srrip.rrpv[way] },
+			want: func(fill int) uint8 {
+				if (fill+1)%brripEpsilon == 0 {
+					return rrpvLong
+				}
+				return rrpvMax
+			},
+		},
+		{
+			name:   "ship",
+			make:   func() Policy { return NewSHiP(1, 4) },
+			rrpvOf: func(p Policy, way int) uint8 { return p.(*SHiP).srrip.rrpv[way] },
+			// Optimistic start inserts at long; fill 4 replaces the first
+			// never-reused occupant, training the signature dead — every
+			// later fill inserts at distant.
+			want: func(fill int) uint8 {
+				if fill < 4 {
+					return rrpvLong
+				}
+				return rrpvMax
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.make()
+			for fill := 0; fill < 2*brripEpsilon; fill++ {
+				way := fill % 4
+				p.Insert(0, way)
+				if got, want := tc.rrpvOf(p, way), tc.want(fill); got != want {
+					t.Fatalf("fill %d: inserted at RRPV %d, want %d", fill, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRRIPHitPromotion: across the RRIP family a hit must promote the line
+// to near-immediate (RRPV 0), so a reused line outlives a fresh fill.
+func TestRRIPHitPromotion(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    Policy
+	}{
+		{"srrip", NewSRRIP(1, 2)},
+		{"brrip", NewBRRIP(1, 2)},
+		{"ship", NewSHiP(1, 2)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.p.Insert(0, 0)
+			tc.p.Touch(0, 0) // reused: RRPV 0
+			tc.p.Insert(0, 1)
+			if v := tc.p.Victim(0); v != 1 {
+				t.Fatalf("victim = %d, want the unreused fill (1)", v)
+			}
+		})
+	}
+}
+
+// TestScanResistanceVsLRU replays a classic thrash pattern — a reused
+// 3-line working set interleaved with two one-off scan lines per round in
+// a 4-way set — and counts working-set evictions. LRU inserts scans at MRU
+// so the second scan of each round displaces a working-set member; the
+// RRIP family must keep the working set resident.
+func TestScanResistanceVsLRU(t *testing.T) {
+	run := func(p Policy) (wsEvictions int) {
+		lines := [4]int{0, 1, 2, -1} // line held per way; 0..2 working set, -1 scan
+		wayOf := func(line int) int {
+			for w, l := range lines {
+				if l == line {
+					return w
+				}
+			}
+			return -1
+		}
+		for w := 0; w < 4; w++ {
+			p.Insert(0, w)
+		}
+		for round := 0; round < 4*brripEpsilon; round++ {
+			for line := 0; line < 3; line++ {
+				if w := wayOf(line); w >= 0 {
+					p.Touch(0, w) // working-set hit
+				} else { // thrashed out: refill
+					v := p.Victim(0)
+					if lines[v] >= 0 {
+						wsEvictions++
+					}
+					lines[v] = line
+					p.Insert(0, v)
+				}
+			}
+			for scan := 0; scan < 2; scan++ { // two never-reused scan fills
+				v := p.Victim(0)
+				if lines[v] >= 0 {
+					wsEvictions++
+				}
+				lines[v] = -1
+				p.Insert(0, v)
+			}
+		}
+		return wsEvictions
+	}
+	lruEv := run(NewLRU(1, 4))
+	if lruEv == 0 {
+		t.Fatal("LRU unexpectedly scan-resistant; pattern is not thrashing")
+	}
+	for _, tc := range []struct {
+		name string
+		p    Policy
+	}{
+		{"srrip", NewSRRIP(1, 4)},
+		{"brrip", NewBRRIP(1, 4)},
+		{"ship", NewSHiP(1, 4)},
+	} {
+		if ev := run(tc.p); ev >= lruEv {
+			t.Errorf("%s evicted the working set %d times, LRU %d; no scan resistance", tc.name, ev, lruEv)
+		}
+	}
+}
+
+// TestSHiPLearnsDeadSignatures: evicting never-reused fills must train the
+// SHCT to zero for that signature, after which fills insert at distant.
+func TestSHiPLearnsDeadSignatures(t *testing.T) {
+	p := NewSHiP(1, 2)
+	// Repeatedly fill and replace without any Touch: pure dead-on-arrival.
+	for i := 0; i < 8; i++ {
+		p.Insert(0, i%2)
+	}
+	s := p.signature(0)
+	if p.shct[s] != 0 {
+		t.Fatalf("SHCT[%d] = %d after dead fills, want 0", s, p.shct[s])
+	}
+	p.Insert(0, 0)
+	if got := p.srrip.rrpv[0]; got != rrpvMax {
+		t.Fatalf("dead-signature fill inserted at RRPV %d, want %d", got, rrpvMax)
+	}
+	// Reuse trains the counter back up and restores long insertion. Insert
+	// over the reused way so the occupant does not re-train the counter down.
+	p.Touch(0, 0)
+	if p.shct[s] == 0 {
+		t.Fatal("reuse did not train SHCT up")
+	}
+	p.Insert(0, 0)
+	if got := p.srrip.rrpv[0]; got != rrpvLong {
+		t.Fatalf("live-signature fill inserted at RRPV %d, want %d", got, rrpvLong)
+	}
+}
+
+// TestNewSeededRandomDecorrelates: distinct seeds must produce distinct
+// eviction sequences, while seed 0 preserves the legacy New behavior.
+func TestNewSeededRandomDecorrelates(t *testing.T) {
+	mk := func(seed uint64) Policy {
+		p, err := NewSeeded("random", 4, 16, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b, legacy := mk(7), mk(8), mk(0)
+	old, err := New("random", 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := false
+	for i := 0; i < 64; i++ {
+		if a.Victim(0) != b.Victim(0) {
+			diverged = true
+		}
+		if legacy.Victim(0) != old.Victim(0) {
+			t.Fatal("NewSeeded(seed=0) diverged from legacy New")
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 7 and 8 produced identical eviction sequences")
 	}
 }

@@ -93,14 +93,26 @@ func (h *Histogram) Mean() float64 { return h.mean.Value() }
 // Max returns the largest observed sample.
 func (h *Histogram) Max() uint64 { return h.max }
 
-// Percentile returns an upper bound on the p-th percentile (0 < p <= 100)
-// at bucket resolution.
+// Percentile returns an upper bound on the p-th percentile at bucket
+// resolution. p is clamped to (0, 100]: out-of-range requests resolve to
+// the first or last sample's bucket rather than an arbitrary edge (a
+// target rank of zero used to satisfy the first cumulative check even
+// when bucket 0 was empty, returning h.width for p <= 0).
 func (h *Histogram) Percentile(p float64) uint64 {
 	total := h.mean.N()
 	if total == 0 {
 		return 0
 	}
+	if p > 100 {
+		p = 100
+	}
 	target := uint64(math.Ceil(p / 100 * float64(total)))
+	if target < 1 {
+		target = 1 // p <= 0 asks for the smallest sample, not rank zero
+	}
+	if target > total {
+		target = total
+	}
 	var cum uint64
 	for i, b := range h.buckets {
 		cum += b
@@ -115,7 +127,10 @@ func (h *Histogram) Percentile(p float64) uint64 {
 // (0 <= p <= 1). Within the bucket containing the target rank the value is
 // interpolated linearly, so unlike Percentile the result is not pinned to
 // bucket edges. Samples beyond the last bucket resolve to the observed
-// maximum. Returns 0 when the histogram is empty; p is clamped to [0, 1].
+// maximum, and interpolation never exceeds it: a wide bucket holding few
+// samples would otherwise extrapolate past every value actually seen
+// (one sample v=5 in a width-100 bucket gave Quantile(1.0) == 100).
+// Returns 0 when the histogram is empty; p is clamped to [0, 1].
 func (h *Histogram) Quantile(p float64) float64 {
 	total := h.mean.N()
 	if total == 0 {
@@ -137,7 +152,11 @@ func (h *Histogram) Quantile(p float64) float64 {
 		if float64(next) >= rank {
 			lo := float64(uint64(i) * h.width)
 			frac := (rank - float64(cum)) / float64(b)
-			return lo + frac*float64(h.width)
+			v := lo + frac*float64(h.width)
+			if max := float64(h.max); v > max {
+				v = max
+			}
+			return v
 		}
 		cum = next
 	}

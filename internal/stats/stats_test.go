@@ -97,6 +97,22 @@ func TestHistogramPercentile(t *testing.T) {
 	}
 }
 
+func TestHistogramPercentileClampsP(t *testing.T) {
+	// Regression: with bucket 0 empty, p <= 0 yielded target rank 0, which
+	// the first cumulative check satisfied immediately — returning h.width
+	// (10 here) even though no sample is anywhere near it.
+	h := NewHistogram(10, 100)
+	h.Observe(55) // bucket 5; buckets 0..4 empty
+	for _, p := range []float64{0, -5, 0.0001} {
+		if got := h.Percentile(p); got != 60 {
+			t.Errorf("Percentile(%v) = %d, want 60 (bucket of the only sample)", p, got)
+		}
+	}
+	if got := h.Percentile(200); got != 60 {
+		t.Errorf("Percentile(200) = %d, want 60 (clamped to the last sample)", got)
+	}
+}
+
 func TestHistogramQuantile(t *testing.T) {
 	h := NewHistogram(1, 1000)
 	for i := uint64(1); i <= 100; i++ {
@@ -129,6 +145,32 @@ func TestHistogramQuantile(t *testing.T) {
 	small.Observe(500)
 	if got := small.Quantile(1); got != 500 {
 		t.Errorf("overflow Quantile(1) = %v, want 500", got)
+	}
+}
+
+func TestHistogramQuantileNeverExceedsMax(t *testing.T) {
+	// Regression: one sample v=5 in a width-100 bucket interpolated
+	// Quantile(1.0) to the bucket's upper edge (100), above Max() == 5.
+	h := NewHistogram(100, 8)
+	h.Observe(5)
+	if got := h.Quantile(1.0); got != 5 {
+		t.Errorf("Quantile(1.0) = %v, want 5 (the only observed value)", got)
+	}
+
+	// Property: Quantile(p) <= float64(Max()) for every p and any sample
+	// set, including values overflowing the bucket range.
+	f := func(samples []uint16, p float64) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		hq := NewHistogram(7, 16)
+		for _, s := range samples {
+			hq.Observe(uint64(s))
+		}
+		return hq.Quantile(math.Mod(math.Abs(p), 1.5)) <= float64(hq.Max())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -40,6 +40,12 @@ func FuzzConfig(f *testing.F) {
 	f.Add(uint64(1<<40), 1, uint64(1), 1, uint32(0), uint64(0), byte(3), byte(6))
 	f.Add(uint64(1), 2, uint64(1<<44), 16, uint32(1<<31), uint64(99), byte(9), byte(4))
 	f.Add(uint64(64), 8, uint64(256), 16, ^uint32(0), uint64(1), byte(6), byte(0))
+	// The zoo organizations by their append-only Designs() positions, so
+	// the fuzzer exercises Banshee's bypass path, Gemini's dual-region
+	// bookkeeping, and TDRAM's early tag resolution from the first run.
+	f.Add(uint64(64), 8, uint64(256), 16, uint32(2), uint64(1), byte(11), byte(0))
+	f.Add(uint64(64), 8, uint64(256), 16, uint32(2), uint64(1), byte(12), byte(0))
+	f.Add(uint64(64), 8, uint64(256), 16, uint32(2), uint64(1), byte(13), byte(0))
 	f.Fuzz(func(t *testing.T, scale uint64, cores int, cacheMB uint64, l3assoc int, gapScale uint32, seed uint64, design, pred byte) {
 		cfg := core.DefaultConfig("mcf_r")
 		cfg.Scale = scale

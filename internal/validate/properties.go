@@ -203,6 +203,14 @@ func RunProperties(ctx context.Context, opt PropertyOptions) (PropertyReport, er
 	perfectRatios := map[core.PredictorKind][]float64{}
 	var idealAlloyRatios, alloyLHRatios []float64
 
+	// The design zoo rides the same harness: each organization runs under
+	// its default predictor pairing and must stay bounded by IDEAL-LO, and
+	// TDRAM — Alloy minus the TAD burst tax and the serialized tag path —
+	// must not lose to Alloy itself.
+	zoo := []core.Design{core.DesignBanshee, core.DesignGemini, core.DesignTDRAM}
+	idealZooRatios := map[core.Design][]float64{}
+	var tdramAlloyRatios []float64
+
 	run := func(w string, d core.Design, pk core.PredictorKind, mb uint64) (core.Result, error) {
 		res, err := runner.Run(ctx, w, d, pk, mb)
 		if err != nil {
@@ -287,6 +295,34 @@ func RunProperties(ctx context.Context, opt PropertyOptions) (PropertyReport, er
 			rep.pass()
 		}
 
+		// Zoo bounding: no real organization beats the idealized
+		// latency-optimized cache (per workload up to the slack, strictly
+		// in geomean below).
+		for _, d := range zoo {
+			res, err := run(w, d, core.PredDefault, 0)
+			if err != nil {
+				return rep, err
+			}
+			ratio := ideal.ExecCycles / res.ExecCycles
+			idealZooRatios[d] = append(idealZooRatios[d], ratio)
+			if ratio > slack {
+				rep.fail("design-ordering", "%s: IDEAL-LO (%.0f cycles) slower than %s (%.0f, ratio %.3f > slack %.2f)",
+					w, ideal.ExecCycles, d, res.ExecCycles, ratio, slack)
+			} else {
+				rep.pass()
+			}
+			if d == core.DesignTDRAM {
+				tr := res.ExecCycles / alloy.ExecCycles
+				tdramAlloyRatios = append(tdramAlloyRatios, tr)
+				if tr > slack {
+					rep.fail("design-ordering", "%s: TDRAM (%.0f cycles) slower than Alloy (%.0f, ratio %.3f > slack %.2f)",
+						w, res.ExecCycles, alloy.ExecCycles, tr, slack)
+				} else {
+					rep.pass()
+				}
+			}
+		}
+
 		// Hit-rate monotonicity: growing the cache may not lose hits.
 		prev := core.Result{}
 		for i, mb := range sizes {
@@ -321,39 +357,51 @@ func RunProperties(ctx context.Context, opt PropertyOptions) (PropertyReport, er
 	}
 	geo("design-ordering-geomean", idealAlloyRatios, "IDEAL-LO vs Alloy")
 	geo("design-ordering-geomean", alloyLHRatios, "Alloy vs direct-mapped LH")
+	for _, d := range zoo {
+		geo("design-ordering-geomean", idealZooRatios[d], fmt.Sprintf("IDEAL-LO vs %s", d))
+	}
+	geo("design-ordering-geomean", tdramAlloyRatios, "TDRAM vs Alloy")
 
-	// Seed determinism: two fresh systems from the identical config must
-	// produce identical results, field for field (the memo can't help
-	// here: both runs must really execute).
-	cfg := PointConfig(p, workloads[0], core.DesignAlloy, core.PredDefault, 0)
-	a, err := runFresh(ctx, cfg)
-	if err != nil {
-		return rep, err
-	}
-	b, err := runFresh(ctx, cfg)
-	if err != nil {
-		return rep, err
-	}
-	if a != b {
-		rep.fail("determinism", "%s/alloy: two runs of one config differ: %+v vs %+v", workloads[0], a, b)
-	} else {
-		rep.pass()
-	}
+	// Seed determinism and breakdown additivity, per design: two fresh
+	// systems from the identical config must produce identical results,
+	// field for field (the memo can't help here: both runs must really
+	// execute), and a fully-traced run's per-request segments must sum
+	// exactly. The zoo organizations are the ones most likely to break
+	// these — Gemini's steering tables are stateful across accesses, and
+	// TDRAM's early tag resolution reshapes the charged segments.
+	for _, d := range append([]core.Design{core.DesignAlloy}, zoo...) {
+		cfg := PointConfig(p, workloads[0], d, core.PredDefault, 0)
+		a, err := runFresh(ctx, cfg)
+		if err != nil {
+			return rep, err
+		}
+		b, err := runFresh(ctx, cfg)
+		if err != nil {
+			return rep, err
+		}
+		if a != b {
+			rep.fail("determinism", "%s/%s: two runs of one config differ: %+v vs %+v", workloads[0], d, a, b)
+		} else {
+			rep.pass()
+		}
 
-	// Breakdown additivity, on a fully-traced run of the first workload.
-	trc := obs.NewTracer(1, 1<<16)
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
-		return rep, err
+		trc := obs.NewTracer(1, 1<<16)
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return rep, err
+		}
+		sys.EnableObservability(nil, trc)
+		if _, err := sys.RunContext(ctx); err != nil {
+			return rep, err
+		}
+		if vs := CheckBreakdownAdditivity(trc); len(vs) > 0 {
+			for i := range vs {
+				vs[i].Detail = fmt.Sprintf("%s: %s", d, vs[i].Detail)
+			}
+			rep.Violations = append(rep.Violations, vs...)
+		}
+		rep.Checked++
 	}
-	sys.EnableObservability(nil, trc)
-	if _, err := sys.RunContext(ctx); err != nil {
-		return rep, err
-	}
-	if vs := CheckBreakdownAdditivity(trc); len(vs) > 0 {
-		rep.Violations = append(rep.Violations, vs...)
-	}
-	rep.Checked++
 
 	return rep, nil
 }
