@@ -15,6 +15,12 @@ import (
 // hashed 4 KB page, 16K entries.
 const bansheeFreqBits = 14
 
+// bansheeFreqMax saturates the per-page counters (2-bit, values 0..3).
+// Counters are never reset on admission: hotness is a page property, so
+// once a page has crossed the threshold every further line of it admits
+// on its first miss.
+const bansheeFreqMax = 3
+
 // BansheeDefaultThreshold is the fill-filter admission threshold: a page
 // must miss this many times before its lines are admitted.
 const BansheeDefaultThreshold = 2
@@ -83,8 +89,11 @@ func (b *Banshee) freqIndex(line memaddr.Line) uint64 {
 // stacked DRAM. Read misses consult the fill filter: below the admission
 // threshold they bump the page's counter and bypass (no frame reserved, no
 // stacked traffic); at the threshold the line is admitted and will be
-// filled from the memory response. Write misses are forwarded to memory
-// without training the filter — Banshee's filter learns read reuse.
+// filled from the memory response. Counters saturate and are never reset
+// — hotness is a page property, so once a page crosses the threshold its
+// remaining lines admit on their first miss. Write misses are forwarded
+// to memory without training the filter — Banshee's filter learns read
+// reuse.
 func (b *Banshee) Access(now Cycle, line memaddr.Line, write bool) AccessResult {
 	var r AccessResult
 	b.AccessInto(now, line, write, &r)
@@ -105,8 +114,12 @@ func (b *Banshee) AccessInto(now Cycle, line memaddr.Line, write bool, r *Access
 		r.Probed = true
 	} else if !write {
 		idx := b.freqIndex(line)
-		if c := b.freq[idx] + 1; c >= b.threshold {
-			b.freq[idx] = 0
+		c := b.freq[idx]
+		if c < bansheeFreqMax {
+			c++
+			b.freq[idx] = c
+		}
+		if c >= b.threshold {
 			r.Victim = b.tags.Fill(line, false)
 			r.Allocated = true
 			b.admitted.Inc()
@@ -114,7 +127,6 @@ func (b *Banshee) AccessInto(now Cycle, line memaddr.Line, write bool, r *Access
 				invariants.Failf("dramcache: Banshee admitted line %d but contents do not hold it", line)
 			}
 		} else {
-			b.freq[idx] = c
 			b.bypassed.Inc()
 			if invariants.Enabled && b.tags.Contains(line) {
 				invariants.Failf("dramcache: Banshee bypassed line %d that is already resident", line)

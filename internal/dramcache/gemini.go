@@ -190,6 +190,12 @@ func (g *Gemini) AccessInto(now Cycle, line memaddr.Line, write bool, r *AccessR
 		var second dram.Result
 		if saFirst {
 			tagKnown = g.probeDM(tagKnown, line, &second)
+			// The DM probe's TAD stream is what carries the data (and the
+			// row-buffer outcome) for this hit; the SA tag lines held
+			// nothing. Thread it into First so hitIn's read path consumes
+			// the misrouted burst, not the first probe's.
+			r.First = second
+			r.RowHit = second.RowHit
 		} else {
 			tagKnown = g.probeSA(tagKnown, line, &second)
 		}

@@ -110,6 +110,31 @@ func TestBansheeFillFilterAdmitsOnSecondMiss(t *testing.T) {
 	}
 }
 
+func TestBansheeHotPageAdmitsSubsequentLinesOnFirstMiss(t *testing.T) {
+	o, _ := NewBanshee(testCap, stacked())
+	// Two misses on line 42 heat its page past the threshold.
+	o.Access(0, 42, false)
+	o.Access(100, 42, false)
+	if !o.Contains(42) {
+		t.Fatal("line 42 not admitted after two misses")
+	}
+	// Hotness is a page property: line 43 shares the page and must admit
+	// on its first miss — the counter saturates rather than resetting on
+	// admission.
+	r := o.Access(200, 43, false)
+	if !r.Allocated {
+		t.Fatal("first miss on a hot page bypassed; counter was reset on admission")
+	}
+	if !o.Contains(43) {
+		t.Fatal("admitted line 43 not resident")
+	}
+	// A cold page is unaffected: its first miss still bypasses.
+	r = o.Access(300, 4242, false) // page 66, distinct counter
+	if r.Allocated || o.Contains(4242) {
+		t.Fatal("first miss on a cold page did not bypass")
+	}
+}
+
 func TestBansheeWriteMissDoesNotTrainFilter(t *testing.T) {
 	o, _ := NewBanshee(testCap, stacked())
 	o.Access(0, 42, true) // write miss: forwarded, no counter bump
@@ -203,6 +228,43 @@ func TestGeminiMisroutedHitSerializesSecondProbe(t *testing.T) {
 	// The hit also re-trains the line toward its owning region.
 	if o.steer[idx] == 0 {
 		t.Fatal("misrouted hit did not train the steering counter back toward SA")
+	}
+}
+
+func TestGeminiMisroutedDMHitConsumesDMProbe(t *testing.T) {
+	o, _ := NewGemini(testCap, stacked())
+	// Default steering installs into the DM region.
+	fillLine(t, o, 55)
+	if !o.dm.Contains(55) {
+		t.Fatal("default install did not land in the DM region")
+	}
+	// Flip steering so the next access probes SA first and must chase
+	// into the DM region.
+	idx := o.steerIndex(55)
+	o.steer[idx] = geminiSteerMax
+	r := o.Access(100000, 55, false)
+	if !r.Hit {
+		t.Fatal("expected hit")
+	}
+	if o.saMisrouted.Value() != 1 {
+		t.Fatalf("misroute counter = %d, want 1", o.saMisrouted.Value())
+	}
+	// The data rides the DM region's TAD stream — the second probe — so
+	// DataReady is that burst's completion, one tag check before TagKnown,
+	// exactly as in a clean DM read hit.
+	if r.DataReady+TagCheckCycles != r.TagKnown {
+		t.Fatalf("DataReady %d is not the misrouted DM burst's completion (TagKnown %d)", r.DataReady, r.TagKnown)
+	}
+	// And the misroute serialization penalty reaches hit latency: an
+	// identical twin that probes DM directly finishes strictly earlier.
+	o2, _ := NewGemini(testCap, stacked())
+	fillLine(t, o2, 55)
+	clean := o2.Access(100000, 55, false)
+	if !clean.Hit {
+		t.Fatal("twin: expected hit")
+	}
+	if r.DataReady <= clean.DataReady {
+		t.Fatalf("misrouted DM hit DataReady %d not later than clean DM hit's %d", r.DataReady, clean.DataReady)
 	}
 }
 

@@ -150,22 +150,31 @@ func runBeyondPol(ctx context.Context, r *Runner, w io.Writer) error {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+submit:
 	for _, c := range cells {
 		for wi, wl := range workloads {
 			// Acquire the slot before launching, as Prefetch does: a
 			// cancelled context stops submitting new work here rather than
-			// inside the workers.
-			select {
-			case sem <- struct{}{}:
-			case <-ctx.Done():
-			}
+			// inside the workers. Check cancellation before acquiring so an
+			// early exit never holds a slot, and stop submitting entirely
+			// once cancelled.
 			if err := ctx.Err(); err != nil {
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
 				}
 				mu.Unlock()
-				break
+				break submit
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = ctx.Err()
+				}
+				mu.Unlock()
+				break submit
 			}
 			wg.Add(1)
 			go func(c cell, wi int, wl string) {
